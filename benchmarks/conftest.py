@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``benchmarks/test_*.py`` regenerates one of the paper's tables or
+figures (see DESIGN.md section 4).  The functional experiments run at CI
+scale with one benchmark round (they are minutes-long workloads, not
+microsecond kernels); the analytic hardware-model experiments run at the
+paper's full problem sizes.  Each benchmark prints the regenerated rows so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the artifact
+generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a (potentially slow) experiment exactly once under the benchmark timer."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated artifact with a recognizable banner."""
+    print(f"\n===== {title} =====")
+    print(text)

@@ -1,0 +1,68 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not paper artifacts; these quantify the sensitivity of the BGF's training
+quality to the charge-pump non-linearity, the negative-phase configuration
+and the ADC readout precision, and expose the GS time breakdown behind the
+Figure-5 discussion.
+"""
+
+from conftest import emit
+
+from repro.experiments.ablations import (
+    format_ablation,
+    run_gs_communication_breakdown,
+    run_negative_phase_ablation,
+    run_precision_ablation,
+    run_saturation_ablation,
+)
+
+
+def test_ablation_charge_pump_saturation(run_once):
+    result = run_once(
+        run_saturation_ablation, epochs=8, weight_ranges=(1.0, 4.0), seed=0
+    )
+    emit("Ablation: charge-pump weight range and saturation", format_ablation(result))
+
+    # With generous headroom, the saturating pump should be close to the
+    # idealized (non-saturating) pump; with a tight range it costs quality.
+    by_key = {(row["weight_range"], row["saturation"]): row["avg_log_probability"] for row in result.rows}
+    assert by_key[(4.0, True)] >= by_key[(1.0, True)] - 0.5
+    assert by_key[(4.0, True)] >= by_key[(4.0, False)] - 1.5
+
+
+def test_ablation_negative_phase(run_once):
+    result = run_once(
+        run_negative_phase_ablation, epochs=8, anneal_steps=(1, 5), particle_counts=(1, 8), seed=0
+    )
+    emit("Ablation: negative-phase annealing steps and particles", format_ablation(result))
+
+    values = [row["avg_log_probability"] for row in result.rows]
+    assert len(values) == 4
+    # All configurations should train to a similar band; none collapses.
+    assert max(values) - min(values) < 3.0
+
+
+def test_ablation_readout_precision(run_once):
+    result = run_once(run_precision_ablation, epochs=8, readout_bits=(2, 4, 8), seed=0)
+    emit("Ablation: ADC readout precision", format_ablation(result))
+
+    by_bits = {row["readout_bits"]: row["avg_log_probability"] for row in result.rows}
+    # 8-bit readout (the paper's choice) should be essentially lossless
+    # relative to the analog reference, while 2 bits costs noticeably more.
+    assert abs(by_bits[8] - by_bits[0]) < 0.5
+    assert by_bits[8] >= by_bits[2] - 0.2
+
+
+def test_ablation_gs_time_breakdown(benchmark):
+    result = benchmark(run_gs_communication_breakdown)
+    emit("Ablation: GS execution-time breakdown", format_ablation(result))
+
+    for row in result.rows:
+        shares = (
+            row["substrate_share"] + row["host_compute_share"] + row["communication_share"]
+        )
+        assert abs(shares - 1.0) < 1e-9
+        # The substrate dominates, and communication is a minority-but-real
+        # fraction of the time spent waiting on the host.
+        assert row["substrate_share"] > 0.5
+        assert 0.05 < row["communication_of_host_wait"] < 0.7

@@ -1,0 +1,30 @@
+"""Benchmark E9: regenerate Figure 10 (anomaly-detection ROC under analog noise).
+
+Paper claim: the ROC curves of BGF-trained fraud detectors essentially
+overlap across the noise sweep, with the final AUC confined to 0.957-0.963.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analog.noise import FIGURE8_NOISE_CONFIGS
+from repro.experiments.fig10_roc_noise import auc_by_config, format_figure10, run_figure10
+
+
+def test_figure10_anomaly_roc_under_noise(run_once):
+    result = run_once(
+        run_figure10,
+        noise_configs=FIGURE8_NOISE_CONFIGS,
+        epochs=15,
+        seed=0,
+    )
+    emit("Figure 10: anomaly-detection AUC under injected noise", format_figure10(result))
+
+    aucs = auc_by_config(result)
+    assert len(aucs) == 6
+    for label, auc in aucs.items():
+        assert auc > 0.85, f"AUC must stay high under noise ({label})"
+    assert max(aucs.values()) - min(aucs.values()) < 0.08, "AUC band must be narrow"
+    for row in result.rows:
+        tpr = np.asarray(row["roc_tpr"])
+        assert np.all(np.diff(tpr) >= -1e-9), "ROC curves must be monotone"

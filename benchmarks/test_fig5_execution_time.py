@@ -1,0 +1,23 @@
+"""Benchmark E1: regenerate Figure 5 (execution time normalized to BGF).
+
+Paper claim: the Boltzmann gradient follower is ~29x faster than the TPU
+(geometric mean over eleven benchmarks), the Gibbs sampler ~2x faster than
+the TPU, and the GPU slowest.  Runs at the paper's full problem sizes —
+the model is analytic, so this is cheap.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_figure5, run_figure5
+
+
+def test_figure5_execution_time(benchmark):
+    result = benchmark(run_figure5)
+    emit("Figure 5: execution time normalized to BGF", format_figure5(result))
+
+    geomean = result.row_by("workload", "GeoMean")
+    assert 20 <= geomean["TPU"] <= 45, "BGF speedup over TPU should be ~29x"
+    assert 1.5 <= geomean["TPU"] / geomean["GS"] <= 4.0, "GS should be ~2x faster than TPU"
+    assert geomean["GPU"] > geomean["TPU"], "GPU should be the slowest substrate"
+    for row in result.rows:
+        assert row["TPU"] > 1.0 and row["GS"] > 1.0, "BGF must be fastest on every benchmark"

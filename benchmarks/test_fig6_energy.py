@@ -1,0 +1,20 @@
+"""Benchmark E2: regenerate Figure 6 (energy consumption normalized to BGF).
+
+Paper claim: ~1000x energy reduction of the BGF relative to the TPU, with
+the Gibbs sampler in between.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_figure6, run_figure6
+
+
+def test_figure6_energy(benchmark):
+    result = benchmark(run_figure6)
+    emit("Figure 6: energy normalized to BGF", format_figure6(result))
+
+    geomean = result.row_by("workload", "GeoMean")
+    assert 500 <= geomean["TPU"] <= 3000, "BGF energy saving over TPU should be ~1000x"
+    assert 1.0 < geomean["GS"] < geomean["TPU"], "GS sits between BGF and TPU"
+    for row in result.rows:
+        assert row["TPU"] > row["GS"] > row["BGF"]

@@ -1,0 +1,33 @@
+"""Benchmark E5: regenerate Figure 7 (log-probability trajectories).
+
+Paper claim: the AIS-estimated average log probability of the training data
+rises substantially over training for CD-1, CD-10 and the BGF alike, with
+the BGF's trajectory tracking the CD curves.  Runs at CI scale (two image
+benchmarks, pooled images) — the claim is about the shape of the curves,
+not their absolute values on the original datasets.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig7_logprob import format_figure7, run_figure7, trajectories
+
+
+def test_figure7_log_probability_trajectories(run_once):
+    result = run_once(
+        run_figure7,
+        datasets=("mnist", "fmnist"),
+        epochs=6,
+        ais_chains=24,
+        ais_betas=80,
+        seed=0,
+    )
+    emit("Figure 7: average log probability over training", format_figure7(result))
+
+    series = trajectories(result)
+    for dataset, methods in series.items():
+        assert set(methods) == {"cd1", "cd10", "BGF"}
+        for method, values in methods.items():
+            assert values[-1] > values[0] + 0.3, f"{dataset}/{method} trajectory must rise"
+        cd10_gain = methods["cd10"][-1] - methods["cd10"][0]
+        bgf_gain = methods["BGF"][-1] - methods["BGF"][0]
+        assert bgf_gain > 0.4 * cd10_gain, f"{dataset}: BGF must track CD-10 quality"

@@ -1,0 +1,29 @@
+"""Benchmark E8: regenerate Figure 9 (recommender MAE under analog noise).
+
+Paper claim: the BGF-trained recommender's final MAE stays within a narrow
+band (0.709-0.7258 on MovieLens) across the whole variation/noise sweep.
+Our synthetic ratings have different absolute MAE; the reproduced claims
+are the narrowness of the band and that the model beats the global-mean
+baseline at every noise level.
+"""
+
+from conftest import emit
+
+from repro.analog.noise import FIGURE8_NOISE_CONFIGS
+from repro.experiments.fig9_mae_noise import format_figure9, mae_by_config, run_figure9
+
+
+def test_figure9_recommender_mae_under_noise(run_once):
+    result = run_once(
+        run_figure9,
+        noise_configs=FIGURE8_NOISE_CONFIGS,
+        epochs=30,
+        seed=0,
+    )
+    emit("Figure 9: recommender MAE under injected noise", format_figure9(result))
+
+    maes = mae_by_config(result)
+    assert len(maes) == 6
+    assert max(maes.values()) - min(maes.values()) < 0.2, "MAE band must be narrow"
+    for row in result.rows:
+        assert row["mae"] < row["baseline_mae"] * 1.02, row["noise_config"]

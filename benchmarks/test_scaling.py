@@ -1,0 +1,27 @@
+"""Extension benchmark: multi-chip scaling of the BGF (paper's discussion point).
+
+Not a paper artifact; quantifies the cost of scaling past one die's
+capacity — chips needed, coupling-array utilization and the per-sample
+overhead of combining partial column sums over an inter-chip link.
+"""
+
+from conftest import emit
+
+from repro.experiments.base import format_table
+from repro.hardware.scaling import scaling_table
+
+
+def test_multi_chip_scaling(benchmark):
+    rows = benchmark(scaling_table)
+    emit("Extension: multi-chip scaling of the BGF", format_table(rows, precision=3))
+
+    assert len(rows) == 24  # 8 benchmarks x 3 chip sizes
+    # A 1600-node die fits every Table-1 benchmark with no reduction overhead.
+    for row in rows:
+        if row["chip_nodes"] == 1600:
+            assert row["n_chips"] == 1
+            assert row["time_overhead_fraction"] == 0.0
+    # Tiled configurations keep the reduction overhead below the per-sample
+    # compute time (the feasibility claim).
+    for row in rows:
+        assert row["time_overhead_fraction"] < 1.0

@@ -1,0 +1,27 @@
+"""Benchmark E3: regenerate Table 2 (area/power of GS and BGF sub-units).
+
+Paper values at 400/800/1600 nodes; the coupling units dominate, and the
+BGF's per-coupling training circuit costs ~40x the Gibbs sampler's coupling
+unit in area for a modest power increase.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.experiments import format_table2, run_table2
+from repro.hardware.components import BGF_LIBRARY, GIBBS_SAMPLER_LIBRARY
+
+
+def test_table2_area_power(benchmark):
+    result = benchmark(run_table2)
+    emit("Table 2: area and power of accelerator sub-units", format_table2(result))
+
+    # Spot-check the headline cells against the paper.
+    rows = {row["component"]: row for row in result.rows}
+    assert rows["CU (Gibbs)"]["area_mm2@400"] == pytest.approx(0.03, rel=0.05)
+    assert rows["CU (BGF)"]["area_mm2@1600"] == pytest.approx(20.5, rel=0.05)
+    assert rows["Total (Gibbs sampler)"]["power_mw@800"] == pytest.approx(181, rel=0.05)
+    assert rows["Total (Boltzmann gradient follower)"]["power_mw@1600"] == pytest.approx(700, rel=0.05)
+    # Structural claims.
+    assert BGF_LIBRARY.total_area_mm2(1600) < 331 / 10, "BGF chip is small next to a TPU die"
+    assert GIBBS_SAMPLER_LIBRARY.total_area_mm2(1600) < BGF_LIBRARY.total_area_mm2(1600)

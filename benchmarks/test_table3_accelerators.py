@@ -1,0 +1,22 @@
+"""Benchmark E4: regenerate Table 3 (TOPS/mm^2 and TOPS/W comparison).
+
+Paper values: TPU v1 1.16 / 2.30, TPU v4 1.91 / 1.62, TIMELY 38.3 / 21.0,
+BGF (1600x1600) 119 / 3657.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.experiments import format_table3, run_table3
+
+
+def test_table3_accelerator_comparison(benchmark):
+    result = benchmark(run_table3)
+    emit("Table 3: accelerator efficiency comparison", format_table3(result))
+
+    rows = {row["accelerator"]: row for row in result.rows}
+    assert rows["TPU v1"]["tops_per_mm2"] == pytest.approx(1.16, abs=0.02)
+    assert rows["TPU v1"]["tops_per_watt"] == pytest.approx(2.30, abs=0.02)
+    assert rows["TIMELY"]["tops_per_mm2"] == pytest.approx(38.3, rel=0.01)
+    assert rows["BGF (1600x1600)"]["tops_per_mm2"] == pytest.approx(119, rel=0.1)
+    assert rows["BGF (1600x1600)"]["tops_per_watt"] == pytest.approx(3657, rel=0.1)

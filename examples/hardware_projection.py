@@ -1,0 +1,55 @@
+"""Regenerate the paper's hardware projections (Figures 5-6, Tables 2-3).
+
+These are analytical-model results, so they run in milliseconds at the
+paper's full problem sizes.  The expected picture:
+
+* Figure 5 — the Boltzmann gradient follower is ~29x faster than the TPU
+  baseline (geometric mean over the eleven benchmarks); the Gibbs sampler
+  is ~2x faster than the TPU; the GPU is slowest.
+* Figure 6 — the BGF is ~1000x more energy-efficient than the TPU.
+* Table 2  — the coupling units dominate area; the BGF's training circuits
+  make its coupling unit ~40x larger than the Gibbs sampler's.
+* Table 3  — the BGF reaches ~120 TOPS/mm^2 and ~3700 TOPS/W on this
+  specialized computation.
+
+Run with::
+
+    python examples/hardware_projection.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    format_figure5,
+    format_figure6,
+    format_table2,
+    format_table3,
+    run_figure5,
+    run_figure6,
+    run_table2,
+    run_table3,
+)
+
+
+def main() -> None:
+    figure5 = run_figure5()
+    print(format_figure5(figure5))
+    geomean = figure5.row_by("workload", "GeoMean")
+    print(
+        f"\n-> geometric-mean speedup of BGF: {geomean['TPU']:.1f}x over TPU, "
+        f"{geomean['GPU']:.1f}x over GPU; GS is {geomean['TPU'] / geomean['GS']:.1f}x "
+        "faster than TPU\n"
+    )
+
+    figure6 = run_figure6()
+    print(format_figure6(figure6))
+    geomean6 = figure6.row_by("workload", "GeoMean")
+    print(f"\n-> geometric-mean energy saving of BGF over TPU: {geomean6['TPU']:.0f}x\n")
+
+    print(format_table2(run_table2()))
+    print()
+    print(format_table3(run_table3()))
+
+
+if __name__ == "__main__":
+    main()

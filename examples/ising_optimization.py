@@ -1,0 +1,71 @@
+"""Using the BRIM substrate as a plain Ising-problem solver (max-cut).
+
+Before being augmented for RBM training, the substrate is "just" an Ising
+machine (Sec. 2-3.1 of the paper): program a coupling matrix, let the
+nodal dynamics seek a low-energy state, and read the spins out.  This
+example maps a random max-cut instance onto the Ising formula and compares
+three solvers:
+
+* exact enumeration (small instances only),
+* classical simulated annealing (the von Neumann algorithm the machine's
+  physics mimics),
+* the BRIM nodal-dynamics simulator.
+
+Run with::
+
+    python examples/ising_optimization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ising import BRIMConfig, BRIMSimulator, IsingModel, SimulatedAnnealingSolver
+
+
+def random_maxcut_ising(n_nodes: int, edge_probability: float, seed: int) -> IsingModel:
+    """Build the Ising model whose ground state is a maximum cut.
+
+    For max-cut on a graph with edge weights w_ij, the Ising formulation
+    uses couplings J_ij = -w_ij (anti-ferromagnetic: coupled spins prefer
+    opposite signs, i.e. the edge being cut).
+    """
+    rng = np.random.default_rng(seed)
+    adjacency = np.triu((rng.random((n_nodes, n_nodes)) < edge_probability).astype(float), k=1)
+    weights = adjacency * rng.uniform(0.5, 1.5, size=(n_nodes, n_nodes))
+    return IsingModel(-weights)
+
+
+def cut_value(model: IsingModel, spins: np.ndarray) -> float:
+    """Total weight of edges crossing the partition defined by the spins."""
+    weights = -np.triu(model.couplings, k=1)
+    different = (spins[:, None] * spins[None, :]) < 0
+    return float(np.sum(weights * np.triu(different, k=1)))
+
+
+def main() -> None:
+    model = random_maxcut_ising(n_nodes=16, edge_probability=0.4, seed=7)
+    print(f"max-cut instance: {model.n_spins} nodes, "
+          f"{int(np.count_nonzero(np.triu(model.couplings, 1)))} edges")
+
+    exact_spins, exact_energy = model.ground_state_brute_force()
+    print(f"\nexact optimum      : energy {exact_energy:8.3f}   cut {cut_value(model, exact_spins):6.3f}")
+
+    sa = SimulatedAnnealingSolver(n_sweeps=400, rng=0).solve(model)
+    print(f"simulated annealing: energy {sa.energy:8.3f}   cut {cut_value(model, sa.spins):6.3f}   "
+          f"({sa.n_accepted_flips} accepted flips)")
+
+    brim = BRIMSimulator(BRIMConfig(n_steps=4000, flip_probability_scale=0.02), rng=0).run(model)
+    print(f"BRIM dynamics      : energy {brim.energy:8.3f}   cut {cut_value(model, brim.spins):6.3f}   "
+          f"({brim.n_steps} phase points, ~{brim.n_steps * 12e-12 * 1e9:.1f} ns of machine time)")
+
+    gap_sa = 100 * (sa.energy - exact_energy) / abs(exact_energy)
+    gap_brim = 100 * (brim.energy - exact_energy) / abs(exact_energy)
+    print(f"\nenergy gap to optimum: SA {gap_sa:.1f}%   BRIM {gap_brim:.1f}%")
+    print("Both heuristics reach (near-)optimal cuts; the physical machine does so "
+          "in nanoseconds of simulated time, which is the efficiency the RBM "
+          "accelerators inherit.")
+
+
+if __name__ == "__main__":
+    main()

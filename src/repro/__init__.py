@@ -1,0 +1,47 @@
+"""repro: Ising-machine-accelerated energy-based learning (MICRO '23 reproduction).
+
+This library reproduces "Supporting Energy-Based Learning with an Ising
+Machine Substrate: A Case Study on RBM" (Vengalam et al., MICRO 2023).  It
+contains:
+
+* ``repro.rbm``         -- RBMs, CD-k/PCD/exact-ML training, AIS, DBNs,
+                           convolutional RBMs (the software baselines).
+* ``repro.ising``       -- the Ising model, a BRIM-style nodal-dynamics
+                           simulator, and the bipartite RBM-shaped substrate.
+* ``repro.analog``      -- behavioral models of the added circuits (sigmoid
+                           units, comparators, RNGs, DTC/ADC, charge pumps,
+                           noise/variation injection).
+* ``repro.core``        -- the paper's two accelerator architectures: the
+                           Gibbs sampler (GS) and the Boltzmann gradient
+                           follower (BGF).
+* ``repro.hardware``    -- analytical area/power/performance/energy models
+                           (Figures 5-6, Tables 2-3).
+* ``repro.datasets``    -- synthetic stand-ins for the paper's benchmarks.
+* ``repro.eval``        -- classifier head, MAE/ROC/KL metrics, recommender
+                           and anomaly-detection wrappers.
+* ``repro.experiments`` -- one driver per table/figure of the evaluation.
+
+Quickstart::
+
+    from repro.rbm import BernoulliRBM
+    from repro.core import BGFTrainer
+    from repro.datasets import load_mnist_like
+
+    data = load_mnist_like(scale=0.1).binarized()
+    rbm = BernoulliRBM(data.n_features, 64, rng=0)
+    BGFTrainer(learning_rate=0.1, rng=0).train(rbm, data.train_x, epochs=5)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "rbm",
+    "ising",
+    "analog",
+    "core",
+    "hardware",
+    "datasets",
+    "eval",
+    "experiments",
+    "utils",
+]

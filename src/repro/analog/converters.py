@@ -1,0 +1,131 @@
+"""Data-converter behavioral models: DTC inputs and ADC readout (Sec. 4.1).
+
+The paper feeds training data into the visible nodes through 8-bit
+digital-to-time converters (DTCs) and reads the trained coupling voltages
+out through 8-bit ADCs (used once, at the very end of training).  Both are
+modelled as uniform quantizers over a configurable full-scale range, with
+optional integral-nonlinearity-style Gaussian code error.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import ValidationError, check_positive
+
+
+def quantize_uniform(
+    values: np.ndarray, n_bits: int, value_range: Tuple[float, float]
+) -> np.ndarray:
+    """Uniformly quantize ``values`` to ``n_bits`` over ``value_range``.
+
+    Values outside the range are clipped (converter saturation).
+    """
+    if n_bits < 1:
+        raise ValidationError(f"n_bits must be >= 1, got {n_bits}")
+    lo, hi = float(value_range[0]), float(value_range[1])
+    if hi <= lo:
+        raise ValidationError(f"value_range must be increasing, got ({lo}, {hi})")
+    levels = (1 << n_bits) - 1
+    values = np.clip(np.asarray(values, dtype=float), lo, hi)
+    codes = np.round((values - lo) / (hi - lo) * levels)
+    return lo + codes / levels * (hi - lo)
+
+
+class DigitalToTimeConverter:
+    """8-bit (by default) input converter driving the visible-node clamps.
+
+    Parameters
+    ----------
+    n_bits:
+        Converter resolution.
+    value_range:
+        Analog full-scale range; training images are in [0, 1].
+    nonlinearity_rms:
+        RMS of a static per-code Gaussian error, as a fraction of one LSB.
+    """
+
+    def __init__(
+        self,
+        n_bits: int = 8,
+        *,
+        value_range: Tuple[float, float] = (0.0, 1.0),
+        nonlinearity_rms: float = 0.0,
+        rng: SeedLike = None,
+    ):
+        if n_bits < 1:
+            raise ValidationError(f"n_bits must be >= 1, got {n_bits}")
+        self.n_bits = int(n_bits)
+        self.value_range = (float(value_range[0]), float(value_range[1]))
+        if self.value_range[1] <= self.value_range[0]:
+            raise ValidationError("value_range must be increasing")
+        self.nonlinearity_rms = check_positive(
+            nonlinearity_rms, name="nonlinearity_rms", strict=False
+        )
+        self._rng = as_rng(rng)
+
+    @property
+    def lsb(self) -> float:
+        lo, hi = self.value_range
+        return (hi - lo) / ((1 << self.n_bits) - 1)
+
+    def convert(self, values: np.ndarray) -> np.ndarray:
+        """Quantize digital input values to the analog levels the clamp drives."""
+        out = quantize_uniform(values, self.n_bits, self.value_range)
+        if self.nonlinearity_rms > 0:
+            out = out + self._rng.normal(0.0, self.nonlinearity_rms * self.lsb, size=out.shape)
+            out = np.clip(out, *self.value_range)
+        return out
+
+
+class AnalogToDigitalConverter:
+    """8-bit (by default) readout converter for the trained coupling voltages.
+
+    Used once per training run, one column of the coupling array at a time
+    (Sec. 3.3 operation step 6), so its speed is irrelevant; only its
+    quantization affects the read-out weights.
+    """
+
+    def __init__(
+        self,
+        n_bits: int = 8,
+        *,
+        value_range: Tuple[float, float] = (-1.0, 1.0),
+        nonlinearity_rms: float = 0.0,
+        rng: SeedLike = None,
+    ):
+        if n_bits < 1:
+            raise ValidationError(f"n_bits must be >= 1, got {n_bits}")
+        self.n_bits = int(n_bits)
+        self.value_range = (float(value_range[0]), float(value_range[1]))
+        if self.value_range[1] <= self.value_range[0]:
+            raise ValidationError("value_range must be increasing")
+        self.nonlinearity_rms = check_positive(
+            nonlinearity_rms, name="nonlinearity_rms", strict=False
+        )
+        self._rng = as_rng(rng)
+
+    @property
+    def lsb(self) -> float:
+        lo, hi = self.value_range
+        return (hi - lo) / ((1 << self.n_bits) - 1)
+
+    def read(self, values: np.ndarray) -> np.ndarray:
+        """Digitize analog values (adding nonlinearity noise before quantizing)."""
+        values = np.asarray(values, dtype=float)
+        if self.nonlinearity_rms > 0:
+            values = values + self._rng.normal(
+                0.0, self.nonlinearity_rms * self.lsb, size=values.shape
+            )
+        return quantize_uniform(values, self.n_bits, self.value_range)
+
+    def read_columnwise(self, matrix: np.ndarray) -> np.ndarray:
+        """Digitize a coupling matrix one column at a time (as the hardware does)."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValidationError("read_columnwise expects a 2-D coupling matrix")
+        columns = [self.read(matrix[:, j]) for j in range(matrix.shape[1])]
+        return np.stack(columns, axis=1)

@@ -1,0 +1,128 @@
+"""Thermal-noise random number generation and the dynamic comparator (App. B.3).
+
+The paper makes each node probabilistic by comparing the sigmoid unit's
+output voltage against an amplified thermal-noise source in a standard
+dynamic comparator; the latched comparator output is the binary node
+sample.  For the comparison to implement ``P(out=1) = p`` exactly, the
+amplified noise must be *uniform* over the comparator's input range; a real
+diode noise source is Gaussian, so the amplifier/bias are arranged to
+approximate uniformity over the range of interest.  The behavioral model
+exposes both options so tests can quantify the approximation error the
+hardware introduces.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import ValidationError, check_in_range, check_positive
+
+
+class ThermalNoiseRNG:
+    """Amplified-diode-noise random voltage generator.
+
+    Parameters
+    ----------
+    distribution:
+        ``"uniform"`` — idealized flat distribution over [0, 1], the design
+        target; ``"gaussian"`` — a clipped Gaussian centered at V_CM = 0.5,
+        modelling an under-amplified physical noise source.
+    gaussian_sigma:
+        Standard deviation of the Gaussian option (in normalized volts).
+    """
+
+    def __init__(
+        self,
+        distribution: Literal["uniform", "gaussian"] = "uniform",
+        *,
+        gaussian_sigma: float = 0.3,
+        rng: SeedLike = None,
+    ):
+        if distribution not in ("uniform", "gaussian"):
+            raise ValidationError(
+                f"distribution must be 'uniform' or 'gaussian', got {distribution!r}"
+            )
+        self.distribution = distribution
+        self.gaussian_sigma = check_positive(gaussian_sigma, name="gaussian_sigma")
+        self._rng = as_rng(rng)
+
+    def sample(self, shape) -> np.ndarray:
+        """Draw random reference voltages in [0, 1] with the configured law."""
+        if self.distribution == "uniform":
+            return self._rng.random(shape)
+        draws = self._rng.normal(0.5, self.gaussian_sigma, size=shape)
+        return np.clip(draws, 0.0, 1.0)
+
+
+class DynamicComparator:
+    """Latched comparator with optional input-referred offset variation.
+
+    Parameters
+    ----------
+    n_units:
+        Number of comparator instances (one per node); used to draw a fixed
+        per-unit offset.
+    offset_rms:
+        RMS of the static input-referred offset (normalized volts).
+    """
+
+    def __init__(self, n_units: int, *, offset_rms: float = 0.0, rng: SeedLike = None):
+        if n_units <= 0:
+            raise ValidationError(f"n_units must be positive, got {n_units}")
+        self.n_units = int(n_units)
+        self.offset_rms = check_positive(offset_rms, name="offset_rms", strict=False)
+        gen = as_rng(rng)
+        self.offsets = (
+            gen.normal(0.0, offset_rms, size=n_units) if offset_rms > 0 else np.zeros(n_units)
+        )
+
+    def compare(self, signal: np.ndarray, reference: np.ndarray) -> np.ndarray:
+        """Return 1.0 where ``signal + offset > reference`` else 0.0."""
+        signal = np.asarray(signal, dtype=float)
+        reference = np.asarray(reference, dtype=float)
+        if signal.shape[-1] != self.n_units:
+            raise ValidationError(
+                f"signal last dimension {signal.shape[-1]} does not match n_units={self.n_units}"
+            )
+        return (signal + self.offsets > reference).astype(float)
+
+
+class StochasticNeuronSampler:
+    """Sigmoid-output vs. random-reference sampling: the per-node Bernoulli draw.
+
+    Combines a :class:`ThermalNoiseRNG` and a :class:`DynamicComparator` into
+    the operation the hardware performs at every node: latch 1 with
+    probability equal to the sigmoid unit's output voltage.
+    """
+
+    def __init__(
+        self,
+        n_units: int,
+        *,
+        distribution: Literal["uniform", "gaussian"] = "uniform",
+        comparator_offset_rms: float = 0.0,
+        rng: SeedLike = None,
+    ):
+        gen = as_rng(rng)
+        self.noise_source = ThermalNoiseRNG(distribution, rng=gen)
+        self.comparator = DynamicComparator(
+            n_units, offset_rms=comparator_offset_rms, rng=gen
+        )
+        self.n_units = int(n_units)
+
+    def sample(self, probabilities: np.ndarray) -> np.ndarray:
+        """Draw binary samples whose success probabilities are ``probabilities``."""
+        probabilities = check_in_range_array(probabilities)
+        reference = self.noise_source.sample(probabilities.shape)
+        return self.comparator.compare(probabilities, reference)
+
+
+def check_in_range_array(p: np.ndarray) -> np.ndarray:
+    """Validate a probability array lies in [0, 1] (helper for the sampler)."""
+    p = np.asarray(p, dtype=float)
+    if p.size and (p.min() < 0.0 or p.max() > 1.0):
+        raise ValidationError("probabilities must lie in [0, 1]")
+    return p

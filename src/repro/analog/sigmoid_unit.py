@@ -1,0 +1,100 @@
+"""Behavioral model of the analog sigmoid unit (Appendix B.2).
+
+The paper implements the logistic activation with a deliberately low-gain
+differential-to-single-ended amplifier: its transfer curve closely follows
+``S(x) = 1 / (1 + exp(-c1 (x - c2)))`` where the gain ``c1`` and offset
+``c2`` are set by a bias-current control.  The behavioral model reproduces
+that transfer function and optionally adds
+
+* a gain mismatch per instantiated unit (process variation), and
+* output-referred noise per evaluation (thermal/flicker noise),
+
+both expressed as Gaussian RMS fractions, matching the paper's Section 4.5
+noise-injection methodology.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.numerics import sigmoid
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive
+
+
+class SigmoidUnit:
+    """Analog sigmoid (logistic) activation unit.
+
+    Parameters
+    ----------
+    gain:
+        Hyper-parameter ``c1``: slope of the transfer curve at its center.
+        The ideal software algorithm corresponds to ``gain=1``.
+    offset:
+        Hyper-parameter ``c2``: input offset of the transfer curve.
+    n_units:
+        Number of physical unit instances (one per hidden or visible node);
+        used to draw a fixed per-unit gain/offset mismatch once.
+    gain_variation_rms:
+        RMS fractional variation of the gain across units (static process
+        variation, drawn once at construction).
+    output_noise_rms:
+        RMS additive noise on the output probability per evaluation
+        (dynamic noise, drawn on every call).
+    """
+
+    def __init__(
+        self,
+        gain: float = 1.0,
+        offset: float = 0.0,
+        *,
+        n_units: Optional[int] = None,
+        gain_variation_rms: float = 0.0,
+        output_noise_rms: float = 0.0,
+        rng: SeedLike = None,
+    ):
+        self.gain = check_positive(gain, name="gain")
+        self.offset = float(offset)
+        self.gain_variation_rms = check_positive(
+            gain_variation_rms, name="gain_variation_rms", strict=False
+        )
+        self.output_noise_rms = check_positive(
+            output_noise_rms, name="output_noise_rms", strict=False
+        )
+        self._rng = as_rng(rng)
+        self.n_units = None if n_units is None else int(n_units)
+        if self.n_units is not None and self.gain_variation_rms > 0:
+            self._unit_gains = self.gain * (
+                1.0 + self._rng.normal(0.0, self.gain_variation_rms, size=self.n_units)
+            )
+            # A physical amplifier's gain cannot go negative; clip at 5% of nominal.
+            self._unit_gains = np.maximum(self._unit_gains, 0.05 * self.gain)
+        else:
+            self._unit_gains = None
+
+    def ideal(self, x: np.ndarray) -> np.ndarray:
+        """Noise-free transfer function S(x) = sigmoid(gain * (x - offset))."""
+        x = np.asarray(x, dtype=float)
+        return sigmoid(self.gain * (x - self.offset))
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the unit, applying per-unit variation and dynamic noise.
+
+        ``x`` may be 1-D (one value per unit) or 2-D (batch, units); the
+        per-unit gain mismatch is applied along the last axis.
+        """
+        x = np.asarray(x, dtype=float)
+        if self._unit_gains is not None:
+            if x.shape[-1] != self.n_units:
+                raise ValueError(
+                    f"input last dimension {x.shape[-1]} does not match n_units={self.n_units}"
+                )
+            gains = self._unit_gains
+        else:
+            gains = self.gain
+        out = sigmoid(gains * (x - self.offset))
+        if self.output_noise_rms > 0:
+            out = out + self._rng.normal(0.0, self.output_noise_rms, size=out.shape)
+        return np.clip(out, 0.0, 1.0)

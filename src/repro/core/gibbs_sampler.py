@@ -1,0 +1,196 @@
+"""The Gibbs sampler (GS) accelerator architecture (Sec. 3.2).
+
+The GS design keeps the conventional CD-k training loop (Algorithm 1) but
+offloads its inner sampling steps to the augmented Ising substrate:
+
+1. the host programs the current weights/biases into the coupling array,
+2. a training sample is clamped to the visible nodes; the hidden nodes
+   settle through the analog sigmoid + comparator path (positive phase),
+3. the substrate evolves for k steps to produce the negative-phase sample,
+4. the host reads the samples back, accumulates ``<v+h+> - <v-h->`` over a
+   minibatch, computes the update, and reprograms the array.
+
+``GibbsSamplerMachine`` wraps the substrate operations; ``GibbsSamplerTrainer``
+exposes the same ``train(rbm, data, epochs=...)`` interface as the software
+``CDTrainer`` so it can be dropped into every downstream pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analog.noise import NoiseConfig
+from repro.core.host import HostStatistics
+from repro.ising.bipartite import BipartiteIsingSubstrate
+from repro.rbm.rbm import BernoulliRBM, TrainingHistory
+from repro.utils.batching import minibatches
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import ValidationError, check_array, check_positive
+
+
+class GibbsSamplerMachine:
+    """Ising substrate operated as a clamped conditional (Gibbs) sampler.
+
+    Parameters
+    ----------
+    n_visible, n_hidden:
+        Array dimensions.
+    noise_config:
+        Analog noise/variation operating point (defaults to ideal).
+    sigmoid_gain, input_bits:
+        Forwarded to the underlying :class:`BipartiteIsingSubstrate`.
+    """
+
+    def __init__(
+        self,
+        n_visible: int,
+        n_hidden: int,
+        *,
+        noise_config: Optional[NoiseConfig] = None,
+        sigmoid_gain: float = 1.0,
+        input_bits: Optional[int] = 8,
+        rng: SeedLike = None,
+    ):
+        self.substrate = BipartiteIsingSubstrate(
+            n_visible,
+            n_hidden,
+            noise_config=noise_config,
+            sigmoid_gain=sigmoid_gain,
+            input_bits=input_bits,
+            rng=rng,
+        )
+        self.host = HostStatistics()
+
+    @property
+    def n_visible(self) -> int:
+        return self.substrate.n_visible
+
+    @property
+    def n_hidden(self) -> int:
+        return self.substrate.n_hidden
+
+    # ------------------------------------------------------------------ #
+    def program(self, rbm: BernoulliRBM) -> None:
+        """Host programs the RBM's current parameters into the array."""
+        if (rbm.n_visible, rbm.n_hidden) != (self.n_visible, self.n_hidden):
+            raise ValidationError(
+                f"RBM shape {(rbm.n_visible, rbm.n_hidden)} does not match the "
+                f"machine's {(self.n_visible, self.n_hidden)} array"
+            )
+        self.substrate.program(rbm.weights, rbm.visible_bias, rbm.hidden_bias)
+        self.host.record_programming()
+
+    def positive_phase(self, v_pos: np.ndarray) -> np.ndarray:
+        """Clamp a batch of training samples and latch the hidden samples."""
+        self.host.record_sample_streamed(np.atleast_2d(v_pos).shape[0])
+        h_pos = self.substrate.sample_hidden_given_visible(v_pos)
+        self.host.record_sample_read()
+        return h_pos
+
+    def negative_phase(self, h_init: np.ndarray, cd_k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Let the substrate evolve for ``cd_k`` steps from the hidden state."""
+        v_neg, h_neg = self.substrate.gibbs_chain(h_init, cd_k)
+        self.host.record_sample_read(2)
+        return v_neg, h_neg
+
+
+class GibbsSamplerTrainer:
+    """CD-k training with the sampling offloaded to a :class:`GibbsSamplerMachine`.
+
+    Parameters
+    ----------
+    learning_rate, cd_k, batch_size, weight_decay:
+        As in the software :class:`~repro.rbm.rbm.CDTrainer`.
+    machine:
+        Optional pre-built machine (useful to share one across layers or to
+        configure its noise); when omitted, a machine matching the RBM's
+        shape is created lazily at ``train`` time.
+    noise_config:
+        Noise operating point used when the machine is created lazily.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        cd_k: int = 1,
+        batch_size: int = 10,
+        *,
+        weight_decay: float = 0.0,
+        machine: Optional[GibbsSamplerMachine] = None,
+        noise_config: Optional[NoiseConfig] = None,
+        rng: SeedLike = None,
+        callback=None,
+    ):
+        self.learning_rate = check_positive(learning_rate, name="learning_rate")
+        if cd_k < 1:
+            raise ValidationError(f"cd_k must be >= 1, got {cd_k}")
+        if batch_size < 1:
+            raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
+        self.cd_k = int(cd_k)
+        self.batch_size = int(batch_size)
+        self.weight_decay = check_positive(weight_decay, name="weight_decay", strict=False)
+        self.machine = machine
+        self.noise_config = noise_config
+        self._rng = as_rng(rng)
+        self.callback = callback
+
+    def _ensure_machine(self, rbm: BernoulliRBM) -> GibbsSamplerMachine:
+        if self.machine is None or (
+            self.machine.n_visible,
+            self.machine.n_hidden,
+        ) != (rbm.n_visible, rbm.n_hidden):
+            self.machine = GibbsSamplerMachine(
+                rbm.n_visible,
+                rbm.n_hidden,
+                noise_config=self.noise_config,
+                rng=self._rng,
+            )
+        return self.machine
+
+    def train(
+        self,
+        rbm: BernoulliRBM,
+        data: np.ndarray,
+        *,
+        epochs: int = 10,
+        shuffle: bool = True,
+    ) -> TrainingHistory:
+        """Train ``rbm`` in place, using the Ising substrate for sampling."""
+        data = check_array(data, name="data", ndim=2)
+        if data.shape[1] != rbm.n_visible:
+            raise ValidationError(
+                f"data has {data.shape[1]} features but the RBM has "
+                f"{rbm.n_visible} visible units"
+            )
+        if epochs < 1:
+            raise ValidationError(f"epochs must be >= 1, got {epochs}")
+        machine = self._ensure_machine(rbm)
+
+        history = TrainingHistory()
+        for epoch in range(epochs):
+            for batch in minibatches(data, self.batch_size, shuffle=shuffle, rng=self._rng):
+                # Step 2 of the operation sequence: program the current model.
+                machine.program(rbm)
+                # Steps 3-6: positive and negative phases on the substrate.
+                h_pos = machine.positive_phase(batch)
+                v_neg, h_neg = machine.negative_phase(h_pos, self.cd_k)
+
+                # Step 8: host computes the gradient from the read-out samples.
+                n = batch.shape[0]
+                grad_w = (batch.T @ h_pos - v_neg.T @ h_neg) / n
+                grad_bv = np.mean(batch - v_neg, axis=0)
+                grad_bh = np.mean(h_pos - h_neg, axis=0)
+                if self.weight_decay:
+                    grad_w = grad_w - self.weight_decay * rbm.weights
+                rbm.weights += self.learning_rate * grad_w
+                rbm.visible_bias += self.learning_rate * grad_bv
+                rbm.hidden_bias += self.learning_rate * grad_bh
+                machine.host.record_host_update()
+
+            recon = rbm.reconstruct(data)
+            history.record(epoch, float(np.mean((data - recon) ** 2)))
+            if self.callback is not None:
+                self.callback(epoch, rbm)
+        return history

@@ -1,0 +1,242 @@
+"""Ablation studies of the design choices called out in DESIGN.md.
+
+The paper fixes several design parameters without exploring them in the
+evaluation — the charge pump's saturating update non-linearity, the length
+of the negative-phase annealing trajectory, the number of persistent
+particles, and the 8-bit DTC/ADC converter precision (Sec. 4.1).  These
+ablations quantify how sensitive the BGF's training quality is to each of
+those choices, using the same CI-scale methodology as the Figure-7/8
+drivers.  They correspond to the "optional / design-space" part of the
+reproduction rather than to a specific paper artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.gradient_follower import BGFConfig, BGFTrainer
+from repro.datasets.registry import get_benchmark, load_benchmark_dataset
+from repro.experiments.base import ExperimentResult, format_table
+from repro.rbm.ais import average_log_probability
+from repro.rbm.rbm import BernoulliRBM
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import ValidationError
+
+
+def _prepare_problem(dataset_name: str, scale: str, seed: int):
+    """Shared setup: data, layer sizes and a common starting RBM."""
+    cfg = get_benchmark(dataset_name)
+    dataset = load_benchmark_dataset(dataset_name, scale=scale, seed=seed)
+    data = dataset.binarized().train_x
+    n_hidden = cfg.rbm_shape[1] if scale == "paper" else cfg.ci_rbm_shape[1]
+    base = BernoulliRBM(data.shape[1], n_hidden, rng=spawn_rngs(seed, 1)[0])
+    base.init_visible_bias_from_data(data)
+    return data, base
+
+
+def _final_quality(
+    base: BernoulliRBM,
+    data: np.ndarray,
+    config: BGFConfig,
+    *,
+    epochs: int,
+    seed: int,
+    ais_chains: int,
+    ais_betas: int,
+) -> float:
+    """Train a copy of ``base`` with the given BGF configuration and score it."""
+    rbm = base.copy()
+    trainer = BGFTrainer(learning_rate=0.2, config=config, rng=seed + 1)
+    trainer.train(rbm, data, epochs=epochs)
+    return average_log_probability(
+        rbm, data, n_chains=ais_chains, n_betas=ais_betas, rng=seed
+    )
+
+
+def run_saturation_ablation(
+    *,
+    dataset_name: str = "mnist",
+    scale: str = "ci",
+    epochs: int = 10,
+    weight_ranges: Sequence[float] = (1.0, 2.0, 4.0),
+    seed: int = 0,
+    ais_chains: int = 24,
+    ais_betas: int = 80,
+) -> ExperimentResult:
+    """Ablate the charge pump's saturating non-linearity and voltage headroom.
+
+    Rows: every (weight range, saturation on/off) combination with the final
+    AIS-estimated average log probability.  The design question: how much
+    model quality does the physically-unavoidable roll-off near the gate-
+    voltage rails cost, and how much headroom is enough?
+    """
+    if not weight_ranges:
+        raise ValidationError("weight_ranges must not be empty")
+    data, base = _prepare_problem(dataset_name, scale, seed)
+    step = 0.2 / 10
+    rows: List[Dict[str, object]] = []
+    for half_range in weight_ranges:
+        for saturation in (True, False):
+            config = BGFConfig(
+                step_size=step,
+                weight_range=(-float(half_range), float(half_range)),
+                saturation=saturation,
+            )
+            quality = _final_quality(
+                base, data, config, epochs=epochs, seed=seed,
+                ais_chains=ais_chains, ais_betas=ais_betas,
+            )
+            rows.append(
+                {
+                    "weight_range": float(half_range),
+                    "saturation": saturation,
+                    "avg_log_probability": float(quality),
+                }
+            )
+    return ExperimentResult(
+        name="ablation_saturation",
+        description=(
+            "BGF training quality vs charge-pump weight range and saturation "
+            f"non-linearity ({dataset_name}, {epochs} epochs)"
+        ),
+        rows=rows,
+        metadata={"dataset": dataset_name, "scale": scale, "epochs": epochs, "seed": seed},
+    )
+
+
+def run_negative_phase_ablation(
+    *,
+    dataset_name: str = "mnist",
+    scale: str = "ci",
+    epochs: int = 10,
+    anneal_steps: Sequence[int] = (1, 2, 5),
+    particle_counts: Sequence[int] = (1, 8),
+    seed: int = 0,
+    ais_chains: int = 24,
+    ais_betas: int = 80,
+) -> ExperimentResult:
+    """Ablate the negative phase: annealing-trajectory length and particle count.
+
+    The paper uses a short annealing run from one of ``p`` persistent
+    particles per sample; this sweep quantifies how quality depends on both.
+    """
+    if not anneal_steps or not particle_counts:
+        raise ValidationError("anneal_steps and particle_counts must not be empty")
+    data, base = _prepare_problem(dataset_name, scale, seed)
+    step = 0.2 / 10
+    rows: List[Dict[str, object]] = []
+    for steps in anneal_steps:
+        for particles in particle_counts:
+            config = BGFConfig(step_size=step, anneal_steps=int(steps), n_particles=int(particles))
+            quality = _final_quality(
+                base, data, config, epochs=epochs, seed=seed,
+                ais_chains=ais_chains, ais_betas=ais_betas,
+            )
+            rows.append(
+                {
+                    "anneal_steps": int(steps),
+                    "n_particles": int(particles),
+                    "avg_log_probability": float(quality),
+                }
+            )
+    return ExperimentResult(
+        name="ablation_negative_phase",
+        description=(
+            "BGF training quality vs negative-phase annealing steps and persistent "
+            f"particle count ({dataset_name}, {epochs} epochs)"
+        ),
+        rows=rows,
+        metadata={"dataset": dataset_name, "scale": scale, "epochs": epochs, "seed": seed},
+    )
+
+
+def run_precision_ablation(
+    *,
+    dataset_name: str = "mnist",
+    scale: str = "ci",
+    epochs: int = 10,
+    readout_bits: Sequence[int] = (2, 4, 6, 8),
+    seed: int = 0,
+    ais_chains: int = 24,
+    ais_betas: int = 80,
+) -> ExperimentResult:
+    """Ablate the ADC readout precision (the paper fixes 8 bits, Sec. 4.1).
+
+    The trained weights only leave the chip through the ADCs, so readout
+    quantization is the last place quality can be lost.  Rows report the
+    post-readout average log probability per bit width, plus the
+    no-quantization reference.
+    """
+    if not readout_bits:
+        raise ValidationError("readout_bits must not be empty")
+    data, base = _prepare_problem(dataset_name, scale, seed)
+    step = 0.2 / 10
+    rows: List[Dict[str, object]] = []
+    for bits in list(readout_bits) + [None]:
+        config = BGFConfig(step_size=step, readout_bits=bits)
+        quality = _final_quality(
+            base, data, config, epochs=epochs, seed=seed,
+            ais_chains=ais_chains, ais_betas=ais_betas,
+        )
+        rows.append(
+            {
+                "readout_bits": 0 if bits is None else int(bits),
+                "label": "analog (no ADC)" if bits is None else f"{bits}-bit ADC",
+                "avg_log_probability": float(quality),
+            }
+        )
+    return ExperimentResult(
+        name="ablation_precision",
+        description=(
+            "BGF training quality vs ADC readout precision "
+            f"({dataset_name}, {epochs} epochs); 0 bits means no quantization"
+        ),
+        rows=rows,
+        metadata={"dataset": dataset_name, "scale": scale, "epochs": epochs, "seed": seed},
+    )
+
+
+def run_gs_communication_breakdown(
+    *,
+    cd_k: int = 10,
+    batch_size: int = 500,
+) -> ExperimentResult:
+    """Where the Gibbs sampler's time goes (substrate vs host vs communication).
+
+    The paper states communication is "about a quarter of [the] time GS
+    spends waiting for host" and that removing the host bottleneck is
+    exactly the BGF's advantage; this table exposes the model's breakdown
+    per benchmark.
+    """
+    from repro.hardware.perf_model import PerformanceModel, benchmark_workloads
+
+    model = PerformanceModel()
+    rows: List[Dict[str, object]] = []
+    for workload in benchmark_workloads(cd_k=cd_k, batch_size=batch_size):
+        breakdown = model.gs_time_breakdown(workload)
+        total = sum(breakdown.values())
+        host_wait = breakdown["host_compute"] + breakdown["communication"]
+        rows.append(
+            {
+                "workload": workload.name,
+                "substrate_share": breakdown["substrate"] / total,
+                "host_compute_share": breakdown["host_compute"] / total,
+                "communication_share": breakdown["communication"] / total,
+                "communication_of_host_wait": (
+                    breakdown["communication"] / host_wait if host_wait else 0.0
+                ),
+            }
+        )
+    return ExperimentResult(
+        name="ablation_gs_breakdown",
+        description="Share of GS execution time spent in the substrate, host compute and communication",
+        rows=rows,
+        metadata={"cd_k": cd_k, "batch_size": batch_size},
+    )
+
+
+def format_ablation(result: ExperimentResult) -> str:
+    """Plain-text rendering shared by all ablation results."""
+    return format_table(result.rows, title=result.description, precision=3)

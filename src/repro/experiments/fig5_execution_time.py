@@ -1,0 +1,45 @@
+"""Figure 5: execution time of TPU, GS and GPU normalized to BGF."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import ExperimentResult, format_table
+from repro.hardware.perf_model import PerformanceModel, benchmark_workloads
+
+
+def run_figure5(
+    *,
+    cd_k: int = 10,
+    batch_size: int = 500,
+    model: Optional[PerformanceModel] = None,
+) -> ExperimentResult:
+    """Regenerate Figure 5's bars (plus the geometric mean row).
+
+    Parameters
+    ----------
+    cd_k, batch_size:
+        Workload parameters (the paper reports an image batch size of 500).
+    model:
+        Optional pre-configured :class:`PerformanceModel` (e.g. with
+        different calibration constants) — defaults to the paper-calibrated
+        model.
+    """
+    model = model if model is not None else PerformanceModel()
+    workloads = benchmark_workloads(cd_k=cd_k, batch_size=batch_size)
+    rows = model.figure5_rows(workloads)
+    return ExperimentResult(
+        name="figure5",
+        description=(
+            "Execution time normalized to BGF for different RBM/DBN benchmarks "
+            f"(batch size {batch_size}, CD-{cd_k})"
+        ),
+        rows=rows,
+        metadata={"cd_k": cd_k, "batch_size": batch_size},
+    )
+
+
+def format_figure5(result: Optional[ExperimentResult] = None) -> str:
+    """Plain-text rendering of the Figure-5 rows."""
+    result = result if result is not None else run_figure5()
+    return format_table(result.rows, title=result.description, precision=1)

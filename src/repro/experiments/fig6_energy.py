@@ -1,0 +1,35 @@
+"""Figure 6: energy consumption of TPU, GS and GPU normalized to BGF."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import ExperimentResult, format_table
+from repro.hardware.perf_model import PerformanceModel, benchmark_workloads
+
+
+def run_figure6(
+    *,
+    cd_k: int = 10,
+    batch_size: int = 500,
+    model: Optional[PerformanceModel] = None,
+) -> ExperimentResult:
+    """Regenerate Figure 6's bars (plus the geometric mean row)."""
+    model = model if model is not None else PerformanceModel()
+    workloads = benchmark_workloads(cd_k=cd_k, batch_size=batch_size)
+    rows = model.figure6_rows(workloads)
+    return ExperimentResult(
+        name="figure6",
+        description=(
+            "Energy consumption normalized to BGF for different RBM/DBN benchmarks "
+            f"(batch size {batch_size}, CD-{cd_k})"
+        ),
+        rows=rows,
+        metadata={"cd_k": cd_k, "batch_size": batch_size},
+    )
+
+
+def format_figure6(result: Optional[ExperimentResult] = None) -> str:
+    """Plain-text rendering of the Figure-6 rows."""
+    result = result if result is not None else run_figure6()
+    return format_table(result.rows, title=result.description, precision=1)

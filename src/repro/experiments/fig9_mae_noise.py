@@ -1,0 +1,80 @@
+"""Figure 9: recommender MAE under injected variation/noise.
+
+The paper trains the 943x100 recommender RBM with the BGF under the same
+noise sweep as Figure 8 and reports that the final mean absolute error only
+varies within a narrow band (0.709-0.7258 on MovieLens).  The reproduced
+claim is that band's narrowness: across noise configurations up to 30% RMS,
+the MAE stays within a small spread and remains better than the
+global-mean baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analog.noise import FIGURE8_NOISE_CONFIGS, NoiseConfig
+from repro.core.gradient_follower import BGFTrainer
+from repro.datasets.registry import get_benchmark, load_benchmark_dataset
+from repro.eval.recommender import RBMRecommender
+from repro.experiments.base import ExperimentResult, format_table
+from repro.utils.rng import spawn_rngs
+
+
+def run_figure9(
+    *,
+    noise_configs: Sequence[NoiseConfig] = FIGURE8_NOISE_CONFIGS,
+    scale: str = "ci",
+    epochs: int = 40,
+    learning_rate: float = 0.2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Train the recommender with the BGF under each noise configuration."""
+    cfg = get_benchmark("recommender")
+    ratings = load_benchmark_dataset("recommender", scale=scale, seed=seed)
+    n_hidden = cfg.rbm_shape[1] if scale == "paper" else cfg.ci_rbm_shape[1]
+
+    rows: List[Dict[str, object]] = []
+    baseline_mae: Optional[float] = None
+    for config_index, noise in enumerate(noise_configs):
+        rngs = spawn_rngs(seed + config_index, 2)
+        trainer = BGFTrainer(
+            learning_rate,
+            reference_batch_size=10,
+            noise_config=noise,
+            rng=rngs[0],
+        )
+        recommender = RBMRecommender(
+            n_hidden=n_hidden, trainer=trainer, epochs=epochs, rng=rngs[1]
+        ).fit(ratings)
+        mae = recommender.evaluate_mae(ratings)
+        if baseline_mae is None:
+            baseline_mae = recommender.baseline_mae(ratings)
+        rows.append(
+            {
+                "noise_config": noise.label,
+                "variation_rms": noise.variation_rms,
+                "noise_rms": noise.noise_rms,
+                "mae": float(mae),
+                "baseline_mae": float(baseline_mae),
+            }
+        )
+    return ExperimentResult(
+        name="figure9",
+        description=(
+            "Recommender mean absolute error of BGF-trained models under injected "
+            "variation/noise"
+        ),
+        rows=rows,
+        metadata={"scale": scale, "epochs": epochs, "seed": seed},
+    )
+
+
+def mae_by_config(result: ExperimentResult) -> Dict[str, float]:
+    """MAE per noise configuration label."""
+    return {row["noise_config"]: row["mae"] for row in result.rows}
+
+
+def format_figure9(result: Optional[ExperimentResult] = None) -> str:
+    """Plain-text rendering of the Figure-9 rows."""
+    result = result if result is not None else run_figure9()
+    return format_table(result.rows, title=result.description, precision=3)

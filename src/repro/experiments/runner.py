@@ -1,0 +1,82 @@
+"""Run every experiment and print the regenerated tables/figures.
+
+Usage::
+
+    python -m repro.experiments.runner            # fast, CI-scale
+    python -m repro.experiments.runner --scale paper
+    python -m repro.experiments.runner --only figure5 table3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.fig5_execution_time import format_figure5, run_figure5
+from repro.experiments.fig6_energy import format_figure6, run_figure6
+from repro.experiments.fig7_logprob import format_figure7, run_figure7
+from repro.experiments.fig8_noise import format_figure8, run_figure8
+from repro.experiments.fig9_mae_noise import format_figure9, run_figure9
+from repro.experiments.fig10_roc_noise import format_figure10, run_figure10
+from repro.experiments.fig11_bias_kl import format_figure11, run_figure11
+from repro.experiments.table2_area_power import format_table2, run_table2
+from repro.experiments.table3_accelerators import format_table3, run_table3
+from repro.experiments.table4_accuracy import format_table4, run_table4
+
+
+def _registry(scale: str, seed: int) -> Dict[str, Callable[[], str]]:
+    """Map experiment name -> thunk returning the formatted output."""
+    return {
+        "figure5": lambda: format_figure5(run_figure5()),
+        "figure6": lambda: format_figure6(run_figure6()),
+        "table2": lambda: format_table2(run_table2()),
+        "table3": lambda: format_table3(run_table3()),
+        "figure7": lambda: format_figure7(run_figure7(scale=scale, seed=seed)),
+        "table4": lambda: format_table4(run_table4(scale=scale, seed=seed)),
+        "figure8": lambda: format_figure8(run_figure8(scale=scale, seed=seed)),
+        "figure9": lambda: format_figure9(run_figure9(scale=scale, seed=seed)),
+        "figure10": lambda: format_figure10(run_figure10(scale=scale, seed=seed)),
+        "figure11": lambda: format_figure11(run_figure11(seed=seed)),
+    }
+
+
+def run_all(
+    only: Optional[Sequence[str]] = None,
+    *,
+    scale: str = "ci",
+    seed: int = 0,
+    stream=None,
+) -> List[str]:
+    """Run the selected experiments, printing each formatted artifact.
+
+    Returns the list of experiment names that were run.
+    """
+    stream = stream if stream is not None else sys.stdout
+    registry = _registry(scale, seed)
+    names = list(only) if only else list(registry)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        raise ValueError(f"unknown experiments {unknown}; known: {sorted(registry)}")
+    for name in names:
+        start = time.perf_counter()
+        output = registry[name]()
+        elapsed = time.perf_counter() - start
+        print(f"\n=== {name} (took {elapsed:.1f}s) ===", file=stream)
+        print(output, file=stream)
+    return names
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("ci", "paper"), default="ci")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--only", nargs="*", default=None, help="subset of experiments to run")
+    args = parser.parse_args(argv)
+    run_all(args.only, scale=args.scale, seed=args.seed)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Table 2: area and power of the GS/BGF sub-units at 400/800/1600 nodes."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.base import ExperimentResult, format_table
+from repro.hardware.components import TABLE2_NODE_COUNTS, table2_rows
+
+
+def run_table2(node_counts: Sequence[int] = TABLE2_NODE_COUNTS) -> ExperimentResult:
+    """Regenerate Table 2 from the component library."""
+    rows = table2_rows(node_counts)
+    return ExperimentResult(
+        name="table2",
+        description=(
+            "Area (mm^2) and power (mW) of Gibbs-sampler and BGF sub-units at "
+            f"array sizes {tuple(node_counts)}"
+        ),
+        rows=rows,
+        metadata={"node_counts": tuple(node_counts)},
+    )
+
+
+def format_table2(result: Optional[ExperimentResult] = None) -> str:
+    """Plain-text rendering of the Table-2 rows."""
+    result = result if result is not None else run_table2()
+    return format_table(result.rows, title=result.description, precision=4)

@@ -1,0 +1,25 @@
+"""Table 3: TOPS/mm^2 and TOPS/W of TPU v1/v4, TIMELY and the BGF."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import ExperimentResult, format_table
+from repro.hardware.comparison import table3_rows
+
+
+def run_table3(n_nodes: int = 1600) -> ExperimentResult:
+    """Regenerate Table 3 (the BGF row derived from the component model)."""
+    rows = table3_rows(n_nodes)
+    return ExperimentResult(
+        name="table3",
+        description="Comparison between different accelerators (TOPS/mm^2, TOPS/W)",
+        rows=rows,
+        metadata={"n_nodes": n_nodes},
+    )
+
+
+def format_table3(result: Optional[ExperimentResult] = None) -> str:
+    """Plain-text rendering of the Table-3 rows."""
+    result = result if result is not None else run_table3()
+    return format_table(result.rows, title=result.description, precision=2)

@@ -1,0 +1,68 @@
+"""GPU baseline model (the Tesla T4 comparison point of Figure 5).
+
+Figure 5 includes a Tesla T4 GPU alongside the TPU.  RBM contrastive
+divergence on a GPU is dominated by dense GEMMs interleaved with
+element-wise sampling, and achieves only a fraction of peak throughput
+because the per-step matrices (e.g. 500x784 by 784x200) are small and the
+sampling steps serialize the kernels.  The model mirrors the TPU one:
+peak throughput, an achievable-utilization factor, and board power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ValidationError, check_positive
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """Analytical model of a GPU baseline.
+
+    Attributes
+    ----------
+    peak_tops:
+        Peak dense throughput in TOPS (fp16/int8 tensor-core rate).
+    base_utilization:
+        Achievable fraction of peak on RBM-style workloads (small GEMMs,
+        kernel-launch and sampling overhead between them).
+    board_power_w:
+        Board power while busy (W).
+    min_kernel_time_s:
+        Launch/synchronization floor per training step, which dominates for
+        very small layers.
+    """
+
+    name: str = "Tesla T4"
+    peak_tops: float = 65.0
+    base_utilization: float = 0.04
+    board_power_w: float = 70.0
+    min_kernel_time_s: float = 10e-6
+
+    def __post_init__(self) -> None:
+        check_positive(self.peak_tops, name="peak_tops")
+        check_positive(self.board_power_w, name="board_power_w")
+        check_positive(self.min_kernel_time_s, name="min_kernel_time_s", strict=False)
+        if not 0 < self.base_utilization <= 1:
+            raise ValidationError("base_utilization must be in (0, 1]")
+
+    def effective_tops(self) -> float:
+        """Effective sustained throughput on RBM training (TOPS)."""
+        return self.peak_tops * self.base_utilization
+
+    def time_for_ops(self, ops: float, n_steps: int = 1) -> float:
+        """Seconds for ``ops`` operations spread over ``n_steps`` kernel launches."""
+        check_positive(ops, name="ops", strict=False)
+        if n_steps < 1:
+            raise ValidationError(f"n_steps must be >= 1, got {n_steps}")
+        compute = ops / (self.effective_tops() * 1e12)
+        return compute + n_steps * self.min_kernel_time_s
+
+    def energy_for_time(self, seconds: float) -> float:
+        """Energy (J) consumed while busy for ``seconds``."""
+        check_positive(seconds, name="seconds", strict=False)
+        return self.board_power_w * seconds
+
+
+#: Tesla T4: 65 TOPS (fp16 tensor cores), 70 W board power.
+TESLA_T4 = GPUModel()

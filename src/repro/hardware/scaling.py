@@ -1,0 +1,187 @@
+"""Multi-chip scaling model (the paper's discussion point on capacity).
+
+The evaluated accelerators have a fixed array capacity ("we assume the
+system has enough nodes to fit the largest problems"), and the paper points
+to multi-chip Ising-machine architectures (Sharma et al., ISCA 2022) as the
+path past a single die.  This module provides the corresponding first-order
+model for the BGF: an RBM whose coupling matrix exceeds one chip's array is
+tiled across a grid of chips, each chip computes partial column currents
+for its slice of the visible nodes, and the partial sums are combined over
+an inter-chip link before the hidden nodes latch.
+
+The model answers the questions the discussion raises: how many chips a
+given benchmark needs at a given array size, how well those chips are
+utilized, and how much per-sample time and energy the inter-chip reduction
+adds relative to an ideal single large die.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.registry import TABLE1_CONFIGS, get_benchmark
+from repro.hardware.components import BGF_LIBRARY
+from repro.utils.validation import ValidationError, check_positive
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """One BGF die plus the link used to combine partial results.
+
+    Attributes
+    ----------
+    array_nodes:
+        Side length of the chip's coupling array (visible rows = hidden
+        columns = ``array_nodes``).
+    link_bandwidth_bits_per_s:
+        Throughput of the chip-to-chip link carrying partial column sums.
+    link_energy_joules_per_bit:
+        Energy per transferred bit (SerDes-class links are a few pJ/bit).
+    partial_sum_bits:
+        Precision at which partial column currents are digitized and summed
+        across chips.
+    """
+
+    array_nodes: int = 1600
+    link_bandwidth_bits_per_s: float = 256e9
+    link_energy_joules_per_bit: float = 5e-12
+    partial_sum_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.array_nodes <= 0:
+            raise ValidationError(f"array_nodes must be positive, got {self.array_nodes}")
+        check_positive(self.link_bandwidth_bits_per_s, name="link_bandwidth_bits_per_s")
+        check_positive(self.link_energy_joules_per_bit, name="link_energy_joules_per_bit", strict=False)
+        if self.partial_sum_bits < 1:
+            raise ValidationError("partial_sum_bits must be >= 1")
+
+    @property
+    def power_w(self) -> float:
+        """Per-chip power from the Table-2 component model."""
+        return BGF_LIBRARY.total_power_w(self.array_nodes)
+
+    @property
+    def area_mm2(self) -> float:
+        """Per-chip area from the Table-2 component model."""
+        return BGF_LIBRARY.total_area_mm2(self.array_nodes)
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """How one RBM layer maps onto a grid of chips."""
+
+    n_visible: int
+    n_hidden: int
+    chip: ChipSpec
+    visible_tiles: int
+    hidden_tiles: int
+
+    @property
+    def n_chips(self) -> int:
+        return self.visible_tiles * self.hidden_tiles
+
+    @property
+    def coupling_utilization(self) -> float:
+        """Fraction of the provisioned coupling units the layer actually uses."""
+        provisioned = self.n_chips * self.chip.array_nodes**2
+        return (self.n_visible * self.n_hidden) / provisioned
+
+    @property
+    def needs_reduction(self) -> bool:
+        """True when hidden-node currents must be combined across chips."""
+        return self.visible_tiles > 1
+
+
+def partition_rbm(n_visible: int, n_hidden: int, chip: ChipSpec) -> PartitionPlan:
+    """Tile an ``n_visible x n_hidden`` coupling matrix onto chips."""
+    if n_visible <= 0 or n_hidden <= 0:
+        raise ValidationError("layer dimensions must be positive")
+    visible_tiles = math.ceil(n_visible / chip.array_nodes)
+    hidden_tiles = math.ceil(n_hidden / chip.array_nodes)
+    return PartitionPlan(
+        n_visible=n_visible,
+        n_hidden=n_hidden,
+        chip=chip,
+        visible_tiles=visible_tiles,
+        hidden_tiles=hidden_tiles,
+    )
+
+
+@dataclass(frozen=True)
+class MultiChipCost:
+    """Per-sample overhead of a partitioned BGF learning step."""
+
+    plan: PartitionPlan
+    single_chip_sample_seconds: float
+    reduction_seconds: float
+    reduction_joules: float
+
+    @property
+    def sample_seconds(self) -> float:
+        return self.single_chip_sample_seconds + self.reduction_seconds
+
+    @property
+    def time_overhead_fraction(self) -> float:
+        """Extra per-sample time relative to an ideal single large die."""
+        return self.reduction_seconds / self.single_chip_sample_seconds
+
+    @property
+    def total_power_w(self) -> float:
+        return self.plan.n_chips * self.plan.chip.power_w
+
+
+def multi_chip_sample_cost(
+    plan: PartitionPlan,
+    *,
+    single_chip_sample_seconds: float = 132e-9,
+) -> MultiChipCost:
+    """Per-sample time/energy when the layer spans ``plan.n_chips`` chips.
+
+    The single-chip per-sample time defaults to the Figure-5 model's BGF
+    value for an MNIST-sized layer (positive settle + anneal + updates).
+    When the visible dimension spans several chips, every hidden settle
+    additionally waits for the partial column sums of the other visible
+    tiles to arrive over the link, twice per learning step (positive and
+    negative phase).
+    """
+    check_positive(single_chip_sample_seconds, name="single_chip_sample_seconds")
+    if not plan.needs_reduction:
+        return MultiChipCost(plan, single_chip_sample_seconds, 0.0, 0.0)
+    # Each non-local visible tile ships one partial sum per hidden column.
+    bits_per_reduction = (
+        (plan.visible_tiles - 1) * plan.n_hidden * plan.chip.partial_sum_bits
+    )
+    reduction_seconds = 2.0 * bits_per_reduction / plan.chip.link_bandwidth_bits_per_s
+    reduction_joules = 2.0 * bits_per_reduction * plan.chip.link_energy_joules_per_bit
+    return MultiChipCost(plan, single_chip_sample_seconds, reduction_seconds, reduction_joules)
+
+
+def scaling_table(
+    chip_sizes: Sequence[int] = (400, 800, 1600),
+    benchmarks: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Chips needed, utilization and reduction overhead per benchmark and chip size."""
+    if not chip_sizes:
+        raise ValidationError("chip_sizes must not be empty")
+    names = list(benchmarks) if benchmarks is not None else list(TABLE1_CONFIGS)
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        cfg = get_benchmark(name)
+        n_visible, n_hidden = cfg.rbm_shape
+        for size in chip_sizes:
+            chip = ChipSpec(array_nodes=size)
+            plan = partition_rbm(n_visible, n_hidden, chip)
+            cost = multi_chip_sample_cost(plan)
+            rows.append(
+                {
+                    "benchmark": name,
+                    "chip_nodes": size,
+                    "n_chips": plan.n_chips,
+                    "coupling_utilization": plan.coupling_utilization,
+                    "time_overhead_fraction": cost.time_overhead_fraction,
+                    "total_power_w": cost.total_power_w,
+                }
+            )
+    return rows

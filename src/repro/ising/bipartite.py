@@ -1,0 +1,223 @@
+"""Bipartite (RBM-shaped) Ising substrate with clamping and analog sampling.
+
+Figure 3 of the paper modifies the BRIM layout for the RBM's bipartite
+graph: visible nodes sit on one edge of the coupling mesh, hidden nodes on
+the other, and a coupling unit exists only between a visible and a hidden
+node — an ``m x n`` array instead of ``(m+n)^2`` (the paper's example: a
+784x200 RBM needs ~6x fewer coupling units than an all-to-all layout).
+
+Each node is augmented with (Appendix B): a current-summing phase, a
+sigmoid unit, a thermal-noise RNG plus dynamic comparator for probabilistic
+latching, and a clamp unit driven through a DTC for multi-bit inputs.  This
+class composes those behavioral models into the substrate operations the
+Gibbs-sampler and Boltzmann-gradient-follower architectures invoke:
+
+* ``program(...)``    — write the coupling weights and biases,
+* ``sample_hidden_given_visible`` / ``sample_visible_given_hidden`` — one
+  clamped settle-and-latch, i.e. one conditional sampling step,
+* ``gibbs_chain(...)`` — k alternating settles (the hardware realization of
+  the CD-k random walk / the annealing trajectory of a negative phase).
+
+Dynamic noise and static variation enter through a :class:`NoiseModel`,
+exactly as in the paper's Sec. 4.5 robustness study.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.analog.converters import DigitalToTimeConverter
+from repro.analog.noise import NoiseConfig, NoiseModel
+from repro.analog.rng import StochasticNeuronSampler
+from repro.analog.sigmoid_unit import SigmoidUnit
+from repro.utils.rng import SeedLike, as_rng, spawn_rngs
+from repro.utils.validation import ValidationError, check_array, check_binary
+
+
+class BipartiteIsingSubstrate:
+    """RBM-shaped Ising machine with per-node probabilistic sampling circuits.
+
+    Parameters
+    ----------
+    n_visible, n_hidden:
+        Array dimensions (visible nodes x hidden nodes).
+    noise_config:
+        Static-variation / dynamic-noise operating point; defaults to the
+        ideal (0, 0) corner.
+    sigmoid_gain:
+        Gain of the analog sigmoid units (1.0 reproduces the software
+        logistic exactly).
+    input_bits:
+        DTC resolution for clamping multi-bit visible values (8 in the
+        paper); ``None`` disables input quantization.
+    comparator_offset_rms:
+        Static offset spread of the per-node comparators.
+    rng:
+        Master seed; per-subcircuit streams are spawned from it.
+    """
+
+    def __init__(
+        self,
+        n_visible: int,
+        n_hidden: int,
+        *,
+        noise_config: Optional[NoiseConfig] = None,
+        sigmoid_gain: float = 1.0,
+        input_bits: Optional[int] = 8,
+        comparator_offset_rms: float = 0.0,
+        rng: SeedLike = None,
+    ):
+        if n_visible <= 0 or n_hidden <= 0:
+            raise ValidationError(
+                f"substrate dimensions must be positive, got ({n_visible}, {n_hidden})"
+            )
+        self.n_visible = int(n_visible)
+        self.n_hidden = int(n_hidden)
+        self.noise_config = noise_config if noise_config is not None else NoiseConfig()
+
+        streams = spawn_rngs(rng, 6)
+        self.noise_model = NoiseModel(
+            self.noise_config, (self.n_visible, self.n_hidden), rng=streams[0]
+        )
+        self.hidden_sigmoid = SigmoidUnit(
+            gain=sigmoid_gain,
+            n_units=self.n_hidden,
+            gain_variation_rms=self.noise_config.variation_rms,
+            rng=streams[1],
+        )
+        self.visible_sigmoid = SigmoidUnit(
+            gain=sigmoid_gain,
+            n_units=self.n_visible,
+            gain_variation_rms=self.noise_config.variation_rms,
+            rng=streams[2],
+        )
+        self.hidden_sampler = StochasticNeuronSampler(
+            self.n_hidden, comparator_offset_rms=comparator_offset_rms, rng=streams[3]
+        )
+        self.visible_sampler = StochasticNeuronSampler(
+            self.n_visible, comparator_offset_rms=comparator_offset_rms, rng=streams[4]
+        )
+        self.input_dtc = (
+            DigitalToTimeConverter(input_bits, rng=streams[5]) if input_bits else None
+        )
+
+        self.weights = np.zeros((self.n_visible, self.n_hidden))
+        self.visible_bias = np.zeros(self.n_visible)
+        self.hidden_bias = np.zeros(self.n_hidden)
+
+    # ------------------------------------------------------------------ #
+    # Programming interface (the "Programming Logic" block of Fig. 3)
+    # ------------------------------------------------------------------ #
+    def program(
+        self,
+        weights: np.ndarray,
+        visible_bias: np.ndarray,
+        hidden_bias: np.ndarray,
+    ) -> None:
+        """Write the coupling weights and biases into the array."""
+        self.weights = check_array(
+            weights, name="weights", shape=(self.n_visible, self.n_hidden)
+        ).copy()
+        self.visible_bias = check_array(
+            visible_bias, name="visible_bias", shape=(self.n_visible,)
+        ).copy()
+        self.hidden_bias = check_array(
+            hidden_bias, name="hidden_bias", shape=(self.n_hidden,)
+        ).copy()
+
+    def read_parameters(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Read back the programmed parameters (host-visible copies)."""
+        return self.weights.copy(), self.visible_bias.copy(), self.hidden_bias.copy()
+
+    def clamp_visible(self, values: np.ndarray) -> np.ndarray:
+        """Drive the visible clamp units with ``values`` (through the DTC)."""
+        values = np.asarray(values, dtype=float)
+        if values.shape[-1] != self.n_visible:
+            raise ValidationError(
+                f"clamp values last dimension {values.shape[-1]} does not match "
+                f"{self.n_visible} visible nodes"
+            )
+        if self.input_dtc is not None:
+            values = self.input_dtc.convert(values)
+        return values
+
+    # ------------------------------------------------------------------ #
+    # Conditional sampling (one settle-and-latch)
+    # ------------------------------------------------------------------ #
+    def _effective_weights(self) -> np.ndarray:
+        """Coupling weights as realized by the array for this evaluation."""
+        return self.noise_model.perturbed_coupling(self.weights)
+
+    def hidden_field(self, visible: np.ndarray) -> np.ndarray:
+        """Summed column currents seen by the hidden nodes (plus node noise)."""
+        visible = np.atleast_2d(np.asarray(visible, dtype=float))
+        field = visible @ self._effective_weights() + self.hidden_bias
+        scale = max(float(np.std(field)), 1.0)
+        return field + self.noise_model.node_noise(field.shape, scale=scale)
+
+    def visible_field(self, hidden: np.ndarray) -> np.ndarray:
+        """Summed row currents seen by the visible nodes (plus node noise)."""
+        hidden = np.atleast_2d(np.asarray(hidden, dtype=float))
+        field = hidden @ self._effective_weights().T + self.visible_bias
+        scale = max(float(np.std(field)), 1.0)
+        return field + self.noise_model.node_noise(field.shape, scale=scale)
+
+    def hidden_probability(self, visible: np.ndarray) -> np.ndarray:
+        """Sigmoid-unit output voltages at the hidden nodes."""
+        return self.hidden_sigmoid(self.hidden_field(visible))
+
+    def visible_probability(self, hidden: np.ndarray) -> np.ndarray:
+        """Sigmoid-unit output voltages at the visible nodes."""
+        return self.visible_sigmoid(self.visible_field(hidden))
+
+    def sample_hidden_given_visible(self, visible: np.ndarray) -> np.ndarray:
+        """Clamp the visible nodes and latch one hidden sample."""
+        clamped = self.clamp_visible(np.atleast_2d(np.asarray(visible, dtype=float)))
+        return self.hidden_sampler.sample(self.hidden_probability(clamped))
+
+    def sample_visible_given_hidden(self, hidden: np.ndarray) -> np.ndarray:
+        """Clamp the hidden nodes and latch one visible sample."""
+        hidden = check_binary(np.atleast_2d(np.asarray(hidden, dtype=float)), name="hidden")
+        return self.visible_sampler.sample(self.visible_probability(hidden))
+
+    # ------------------------------------------------------------------ #
+    # Chains (the hardware "random walk")
+    # ------------------------------------------------------------------ #
+    def gibbs_chain(
+        self, hidden_init: np.ndarray, n_steps: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run ``n_steps`` alternating settles starting from a hidden state.
+
+        Mirrors the negative phase of Algorithm 1 / the annealing trajectory
+        of the BGF's negative sample: hidden -> visible -> hidden, repeated.
+        Returns the final ``(visible, hidden)`` samples.
+        """
+        if n_steps < 1:
+            raise ValidationError(f"n_steps must be >= 1, got {n_steps}")
+        hidden = check_binary(
+            np.atleast_2d(np.asarray(hidden_init, dtype=float)), name="hidden_init"
+        )
+        visible = self.sample_visible_given_hidden(hidden)
+        for _ in range(n_steps - 1):
+            hidden = self.sample_hidden_given_visible(visible)
+            visible = self.sample_visible_given_hidden(hidden)
+        hidden = self.sample_hidden_given_visible(visible)
+        return visible, hidden
+
+    def reconstruct(self, visible: np.ndarray) -> np.ndarray:
+        """Mean-field reconstruction through the analog sigmoid units."""
+        hidden_probs = self.hidden_probability(self.clamp_visible(np.atleast_2d(visible)))
+        return self.visible_probability(hidden_probs)
+
+    @property
+    def n_coupling_units(self) -> int:
+        """Number of coupling units in the bipartite layout (m*n, per Fig. 3)."""
+        return self.n_visible * self.n_hidden
+
+    @staticmethod
+    def all_to_all_coupling_units(n_visible: int, n_hidden: int) -> int:
+        """Coupling-unit count of a generic all-to-all substrate, for comparison."""
+        total = n_visible + n_hidden
+        return total * total

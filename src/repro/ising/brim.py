@@ -1,0 +1,213 @@
+"""BRIM: nodal-dynamics simulator of the bistable resistively-coupled machine.
+
+Each node of the BRIM substrate (Afoakwa et al., HPCA 2021; Fig. 2 of this
+paper) is a capacitor whose voltage is made bistable by a feedback unit;
+all-to-all programmable resistors couple the nodes.  Treated as a dynamical
+system, the nodal voltages obey
+
+    C dV_i/dt = sum_j (V_j * J_ij) / R  +  I_feedback(V_i)
+
+and a Lyapunov argument shows the stable states coincide with local minima
+of the Ising energy.  The simulator below integrates a normalized form of
+those equations with forward Euler:
+
+* ``coupling`` current: ``sum_j J_ij V_j + h_i`` (voltages normalized to
+  [-1, 1], resistances folded into ``J``),
+* ``feedback`` current: ``feedback_gain * V_i (1 - V_i^2)``, a cubic
+  bistable characteristic that pushes voltages toward the +-1 rails,
+* annealing control: at every step each node is flipped (voltage negated)
+  with a probability given by the annealing schedule, mirroring the random
+  spin-flip injection described in Sec. 3.1.
+
+The simulator exists for three reasons: it demonstrates the substrate the
+accelerators build on, it provides the "dozen picoseconds per phase point"
+time base used by the hardware performance model, and its quality on small
+problems is validated against exact ground states and simulated annealing
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ising.model import IsingModel
+from repro.ising.schedule import AnnealingSchedule, LinearSchedule
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import ValidationError, check_positive
+
+
+@dataclass(frozen=True)
+class BRIMConfig:
+    """Electrical/integration parameters of the BRIM simulator.
+
+    Attributes
+    ----------
+    dt:
+        Euler integration step, in units of the nodal RC time constant.
+    n_steps:
+        Number of integration steps ("phase points" on the trajectory).
+    feedback_gain:
+        Strength of the bistable feedback relative to the coupling current.
+    coupling_gain:
+        Scale applied to the coupling current (models the 1/R conductances).
+    flip_probability_scale:
+        Peak per-node, per-step probability of an annealing spin flip; the
+        schedule modulates it over the run.
+    nodal_capacitance_farads, node_voltage_volts:
+        Physical constants used only to report energy estimates (Sec. 4.3
+        uses ~50 fF and ~1 V, giving ~100 fJ per flip).
+    phase_point_seconds:
+        Wall-clock duration of one phase point (the paper quotes "roughly a
+        dozen picoseconds").
+    """
+
+    dt: float = 0.05
+    n_steps: int = 2000
+    feedback_gain: float = 1.0
+    coupling_gain: float = 1.0
+    flip_probability_scale: float = 0.02
+    nodal_capacitance_farads: float = 50e-15
+    node_voltage_volts: float = 1.0
+    phase_point_seconds: float = 12e-12
+
+    def __post_init__(self) -> None:
+        check_positive(self.dt, name="dt")
+        if self.n_steps < 1:
+            raise ValidationError(f"n_steps must be >= 1, got {self.n_steps}")
+        check_positive(self.feedback_gain, name="feedback_gain")
+        check_positive(self.coupling_gain, name="coupling_gain")
+        check_positive(self.flip_probability_scale, name="flip_probability_scale", strict=False)
+
+    @property
+    def energy_per_flip_joules(self) -> float:
+        """Energy to (dis)charge one nodal capacitor across the voltage swing.
+
+        ``C * V^2`` for a full swing; with 50 fF and ~1 V this is on the
+        order of 100 fJ, reproducing the paper's Sec. 4.3 estimate of the
+        substrate's fundamental per-flip cost.
+        """
+        return self.nodal_capacitance_farads * (2 * self.node_voltage_volts) ** 2 / 2.0
+
+
+@dataclass
+class BRIMResult:
+    """Outcome of one BRIM run."""
+
+    spins: np.ndarray
+    energy: float
+    energy_trace: np.ndarray
+    voltages: np.ndarray
+    n_steps: int
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Simulated wall-clock time assuming the configured phase-point duration."""
+        return self.n_steps * BRIMConfig().phase_point_seconds
+
+
+class BRIMSimulator:
+    """Forward-Euler simulator of the BRIM nodal dynamics.
+
+    Parameters
+    ----------
+    config:
+        Electrical/integration parameters.
+    schedule:
+        Annealing (spin-flip injection) schedule over the run; defaults to a
+        linear ramp-down from 1 to 0, i.e. aggressive exploration early and
+        pure gradient descent at the end.
+    """
+
+    def __init__(
+        self,
+        config: Optional[BRIMConfig] = None,
+        *,
+        schedule: Optional[AnnealingSchedule] = None,
+        rng: SeedLike = None,
+    ):
+        self.config = config if config is not None else BRIMConfig()
+        self.schedule = schedule if schedule is not None else LinearSchedule(1.0, 0.0)
+        self._rng = as_rng(rng)
+
+    def run(
+        self,
+        model: IsingModel,
+        *,
+        initial_voltages: Optional[np.ndarray] = None,
+        record_trace: bool = True,
+    ) -> BRIMResult:
+        """Integrate the nodal dynamics and return the settled configuration."""
+        n = model.n_spins
+        cfg = self.config
+        rng = self._rng
+        if initial_voltages is None:
+            voltages = rng.uniform(-0.1, 0.1, size=n)
+        else:
+            voltages = np.asarray(initial_voltages, dtype=float).copy()
+            if voltages.shape != (n,):
+                raise ValidationError(
+                    f"initial_voltages must have shape ({n},), got {voltages.shape}"
+                )
+            voltages = np.clip(voltages, -1.0, 1.0)
+
+        trace = np.empty(cfg.n_steps) if record_trace else np.empty(0)
+        for step in range(cfg.n_steps):
+            progress = step / max(cfg.n_steps - 1, 1)
+            coupling_current = cfg.coupling_gain * (voltages @ model.couplings + model.fields)
+            feedback_current = cfg.feedback_gain * voltages * (1.0 - voltages**2)
+            voltages += cfg.dt * (coupling_current + feedback_current)
+            np.clip(voltages, -1.0, 1.0, out=voltages)
+
+            flip_probability = cfg.flip_probability_scale * float(self.schedule(progress))
+            if flip_probability > 0:
+                flips = rng.random(n) < flip_probability
+                voltages[flips] = -voltages[flips]
+
+            if record_trace:
+                spins_now = np.where(voltages >= 0, 1.0, -1.0)
+                trace[step] = float(np.atleast_1d(model.energy(spins_now))[0])
+
+        spins = np.where(voltages >= 0, 1.0, -1.0)
+        energy = float(np.atleast_1d(model.energy(spins))[0])
+        return BRIMResult(
+            spins=spins,
+            energy=energy,
+            energy_trace=trace,
+            voltages=voltages,
+            n_steps=cfg.n_steps,
+        )
+
+    def sample(
+        self,
+        model: IsingModel,
+        n_samples: int,
+        *,
+        steps_per_sample: Optional[int] = None,
+    ) -> np.ndarray:
+        """Draw a sequence of spin configurations by repeated short runs.
+
+        Each sample continues from the previous voltages (a persistent
+        trajectory), which is how the substrate is used as a sampler rather
+        than an optimizer.
+        """
+        if n_samples < 1:
+            raise ValidationError(f"n_samples must be >= 1, got {n_samples}")
+        steps = steps_per_sample if steps_per_sample is not None else max(self.config.n_steps // 10, 1)
+        short_cfg = BRIMConfig(
+            dt=self.config.dt,
+            n_steps=steps,
+            feedback_gain=self.config.feedback_gain,
+            coupling_gain=self.config.coupling_gain,
+            flip_probability_scale=self.config.flip_probability_scale,
+        )
+        sampler = BRIMSimulator(short_cfg, schedule=self.schedule, rng=self._rng)
+        samples = np.empty((n_samples, model.n_spins))
+        voltages = self._rng.uniform(-0.1, 0.1, size=model.n_spins)
+        for i in range(n_samples):
+            result = sampler.run(model, initial_voltages=voltages, record_trace=False)
+            samples[i] = result.spins
+            voltages = result.voltages
+        return samples

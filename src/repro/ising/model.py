@@ -1,0 +1,149 @@
+"""The Ising model: Hamiltonian container with QUBO and RBM conversions.
+
+The Hamiltonian follows Eq. 1 of the paper:
+
+    H(sigma) = - sum_{i<j} J_ij sigma_i sigma_j - sum_i h_i sigma_i
+
+with spins sigma_i in {-1, +1}.  (The external-field scale ``mu`` is folded
+into ``h``.)  QUBO problems map onto it by the substitution
+``sigma = 2 b - 1`` (Sec. 2.1), and an RBM's energy (Eq. 3) is a QUBO over
+the concatenated (visible, hidden) bit vector with a bipartite quadratic
+term — which is exactly how the RBM is laid out on the machine in Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_array
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rbm.rbm import BernoulliRBM
+
+
+class IsingModel:
+    """A system of coupled spins with Hamiltonian per Eq. 1.
+
+    Parameters
+    ----------
+    couplings:
+        Symmetric coupling matrix ``J`` with zero diagonal (only the upper
+        triangle is meaningful physically; the matrix is symmetrized on
+        input so either convention can be passed).
+    fields:
+        External field vector ``h`` (defaults to zeros).
+    """
+
+    def __init__(self, couplings: np.ndarray, fields: Optional[np.ndarray] = None):
+        couplings = check_array(couplings, name="couplings", ndim=2)
+        if couplings.shape[0] != couplings.shape[1]:
+            raise ValidationError(
+                f"couplings must be square, got shape {couplings.shape}"
+            )
+        n = couplings.shape[0]
+        if n == 0:
+            raise ValidationError("an Ising model needs at least one spin")
+        # Symmetrize: accept either a full symmetric matrix or an upper/lower
+        # triangular specification.
+        upper = np.triu(couplings, k=1)
+        lower = np.tril(couplings, k=-1)
+        if np.allclose(lower, upper.T):
+            sym = upper + upper.T
+        elif not lower.any():
+            sym = upper + upper.T
+        elif not upper.any():
+            sym = lower + lower.T
+        else:
+            sym = (couplings + couplings.T) / 2.0
+            np.fill_diagonal(sym, 0.0)
+        self.couplings = sym
+        if fields is None:
+            fields = np.zeros(n)
+        self.fields = check_array(fields, name="fields", shape=(n,))
+
+    @property
+    def n_spins(self) -> int:
+        return int(self.couplings.shape[0])
+
+    # ------------------------------------------------------------------ #
+    def energy(self, spins: np.ndarray) -> np.ndarray:
+        """Hamiltonian H(sigma) for one spin vector or a batch of them."""
+        spins = np.atleast_2d(np.asarray(spins, dtype=float))
+        if spins.shape[1] != self.n_spins:
+            raise ValidationError(
+                f"spin vectors have length {spins.shape[1]}; model has {self.n_spins} spins"
+            )
+        pair = -0.5 * np.einsum("bi,ij,bj->b", spins, self.couplings, spins)
+        field = -spins @ self.fields
+        out = pair + field
+        return out if out.shape[0] > 1 else out
+
+    def local_field(self, spins: np.ndarray) -> np.ndarray:
+        """Effective field each spin sees: ``sum_j J_ij sigma_j + h_i``."""
+        spins = np.asarray(spins, dtype=float)
+        return spins @ self.couplings + self.fields
+
+    def energy_delta_flip(self, spins: np.ndarray, index: int) -> float:
+        """Energy change from flipping spin ``index`` in configuration ``spins``."""
+        spins = np.asarray(spins, dtype=float).ravel()
+        if not 0 <= index < self.n_spins:
+            raise ValidationError(f"spin index {index} out of range")
+        local = float(spins @ self.couplings[:, index] + self.fields[index])
+        return 2.0 * spins[index] * local
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_qubo(cls, q_matrix: np.ndarray) -> Tuple["IsingModel", float]:
+        """Convert a QUBO (minimize ``b' Q b`` over bits) to an Ising model.
+
+        Returns ``(model, offset)`` such that for every bit vector ``b`` and
+        the corresponding spins ``sigma = 2b - 1``:
+        ``b' Q b = H(sigma) + offset``.
+        """
+        q_matrix = check_array(q_matrix, name="q_matrix", ndim=2)
+        if q_matrix.shape[0] != q_matrix.shape[1]:
+            raise ValidationError("QUBO matrix must be square")
+        q_sym = (q_matrix + q_matrix.T) / 2.0
+        off_diag = q_sym - np.diag(np.diag(q_sym))
+        diag = np.diag(q_sym)
+
+        # Substituting b = (sigma + 1)/2 into b'Qb gives
+        #   (1/2) sum_{i<j} Q_ij s_i s_j + sum_i (Q_ii + sum_j Q_ij)/2 s_i + const,
+        # so matching against H = -sum_{i<j} J_ij s_i s_j - sum_i h_i s_i:
+        couplings = -off_diag / 2.0
+        fields = -(diag + off_diag.sum(axis=1)) / 2.0
+        offset = float(diag.sum() / 2.0 + off_diag.sum() / 4.0)
+        return cls(couplings, fields), offset
+
+    @classmethod
+    def from_rbm(cls, rbm: "BernoulliRBM") -> Tuple["IsingModel", float]:
+        """Map an RBM's energy (Eq. 3) onto an Ising Hamiltonian.
+
+        The spin vector concatenates visible spins (first ``n_visible``
+        entries) and hidden spins.  Returns ``(model, offset)`` such that
+        ``E_RBM(v, h) = H(sigma) + offset`` for ``sigma = 2*(v, h) - 1``.
+        """
+        m, n = rbm.n_visible, rbm.n_hidden
+        size = m + n
+        q_matrix = np.zeros((size, size))
+        # E(v,h) = -v'Wh - bv.v - bh.h  is a QUBO with Q_vh = -W, diag = -biases.
+        q_matrix[:m, m:] = -rbm.weights / 2.0
+        q_matrix[m:, :m] = -rbm.weights.T / 2.0
+        q_matrix[np.arange(m), np.arange(m)] = -rbm.visible_bias
+        q_matrix[np.arange(m, size), np.arange(m, size)] = -rbm.hidden_bias
+        return cls.from_qubo(q_matrix)
+
+    # ------------------------------------------------------------------ #
+    def ground_state_brute_force(self) -> Tuple[np.ndarray, float]:
+        """Exact ground state by enumeration (guarded to small systems)."""
+        if self.n_spins > 20:
+            raise ValidationError(
+                f"brute-force ground state is intractable for {self.n_spins} spins"
+            )
+        count = 1 << self.n_spins
+        states = ((np.arange(count)[:, None] >> np.arange(self.n_spins)[None, :]) & 1) * 2.0 - 1.0
+        energies = np.atleast_1d(self.energy(states))
+        best = int(np.argmin(energies))
+        return states[best], float(energies[best])

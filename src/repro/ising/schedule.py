@@ -1,0 +1,77 @@
+"""Annealing schedules shared by the software annealer and the BRIM simulator.
+
+A schedule maps a normalized progress value ``t`` in [0, 1] to a control
+magnitude — a Metropolis temperature for the software annealer, or a
+spin-flip injection rate for the hardware's annealing control (Sec. 3.1:
+"Extra annealing control is needed to inject random spin flips to escape a
+local minimum").
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_in_range, check_positive
+
+
+class AnnealingSchedule(abc.ABC):
+    """Base class: callable mapping progress in [0, 1] to a control value."""
+
+    @abc.abstractmethod
+    def value(self, progress: float) -> float:
+        """Control value at normalized progress ``progress`` in [0, 1]."""
+
+    def __call__(self, progress: float) -> float:
+        progress = check_in_range(progress, 0.0, 1.0, name="progress")
+        return self.value(progress)
+
+    def discretize(self, n_steps: int) -> np.ndarray:
+        """Control values at ``n_steps`` evenly-spaced progress points."""
+        if n_steps < 1:
+            raise ValidationError(f"n_steps must be >= 1, got {n_steps}")
+        if n_steps == 1:
+            return np.array([self.value(0.0)])
+        return np.array([self.value(t) for t in np.linspace(0.0, 1.0, n_steps)])
+
+
+class LinearSchedule(AnnealingSchedule):
+    """Linear interpolation from ``start`` down (or up) to ``end``."""
+
+    def __init__(self, start: float = 1.0, end: float = 0.0):
+        self.start = float(start)
+        self.end = float(end)
+
+    def value(self, progress: float) -> float:
+        return self.start + (self.end - self.start) * progress
+
+
+class GeometricSchedule(AnnealingSchedule):
+    """Geometric (exponential) decay from ``start`` to ``end``.
+
+    Both endpoints must be positive; this is the conventional cooling
+    schedule for simulated annealing.
+    """
+
+    def __init__(self, start: float = 1.0, end: float = 0.01):
+        self.start = check_positive(start, name="start")
+        self.end = check_positive(end, name="end")
+
+    def value(self, progress: float) -> float:
+        return float(self.start * (self.end / self.start) ** progress)
+
+
+class ConstantSchedule(AnnealingSchedule):
+    """A constant control value (no annealing).
+
+    Used when the substrate is operated as a Boltzmann *sampler* at a fixed
+    effective temperature rather than as an optimizer — the regime the
+    Boltzmann gradient follower works in.
+    """
+
+    def __init__(self, value: float = 1.0):
+        self._value = check_positive(value, name="value", strict=False)
+
+    def value(self, progress: float) -> float:
+        return self._value

@@ -1,0 +1,198 @@
+"""Convolutional RBM front-end for CIFAR10- and SmallNORB-style inputs.
+
+The paper attaches a "Convolution RBM algorithm [13]" (Coates, Ng & Lee's
+single-layer feature-learning pipeline) in front of the dense RBM for the
+CIFAR10 and SmallNORB benchmarks, whose Table-1 dense-RBM shapes (108 and
+36 visible units) are the *pooled convolutional feature* dimensions rather
+than raw pixels.  This module implements that front-end:
+
+* a bank of shared convolutional filters whose hidden feature maps are
+  Bernoulli units (Lee et al. 2009 style convolutional RBM),
+* CD-1 training of the filters on image patches,
+* spatial sum-pooling of the hidden feature maps into a fixed-length
+  feature vector suitable for the downstream dense RBM / classifier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.numerics import bernoulli_sample, sigmoid
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import ValidationError, check_array, check_positive
+
+
+def _extract_patches(images: np.ndarray, patch: int) -> np.ndarray:
+    """Extract all dense ``patch x patch`` patches from NHWC images.
+
+    Returns an array of shape (n_images, out_h, out_w, patch*patch*channels).
+    """
+    n, h, w, c = images.shape
+    out_h, out_w = h - patch + 1, w - patch + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValidationError(
+            f"patch size {patch} does not fit images of spatial size {h}x{w}"
+        )
+    patches = np.empty((n, out_h, out_w, patch * patch * c))
+    for dy in range(patch):
+        for dx in range(patch):
+            block = images[:, dy : dy + out_h, dx : dx + out_w, :]
+            start = (dy * patch + dx) * c
+            patches[..., start : start + c] = block
+    return patches
+
+
+class ConvolutionalRBM:
+    """Single-layer convolutional RBM with sum pooling.
+
+    Parameters
+    ----------
+    image_shape:
+        Per-image shape, ``(H, W)`` for grayscale or ``(H, W, C)`` for color.
+    n_filters:
+        Number of convolutional feature maps (hidden groups).
+    filter_size:
+        Side length of the square filters.
+    pool_size:
+        Side length of the non-overlapping pooling regions applied to each
+        feature map before flattening into the output feature vector.
+    """
+
+    def __init__(
+        self,
+        image_shape: Tuple[int, ...],
+        n_filters: int = 12,
+        filter_size: int = 3,
+        pool_size: int = 2,
+        *,
+        weight_scale: float = 0.01,
+        rng: SeedLike = None,
+    ):
+        if len(image_shape) == 2:
+            image_shape = (image_shape[0], image_shape[1], 1)
+        if len(image_shape) != 3:
+            raise ValidationError(f"image_shape must be 2-D or 3-D, got {image_shape}")
+        if n_filters <= 0 or filter_size <= 0 or pool_size <= 0:
+            raise ValidationError("n_filters, filter_size and pool_size must be positive")
+        check_positive(weight_scale, name="weight_scale")
+        h, w, c = image_shape
+        if filter_size > h or filter_size > w:
+            raise ValidationError(
+                f"filter_size {filter_size} exceeds image spatial size {h}x{w}"
+            )
+        self.image_shape = (int(h), int(w), int(c))
+        self.n_filters = int(n_filters)
+        self.filter_size = int(filter_size)
+        self.pool_size = int(pool_size)
+        self._rng = as_rng(rng)
+        self.filters = self._rng.normal(
+            0.0, weight_scale, size=(n_filters, filter_size * filter_size * c)
+        )
+        self.hidden_bias = np.zeros(n_filters)
+        self.visible_bias = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def feature_map_shape(self) -> Tuple[int, int]:
+        h, w, _ = self.image_shape
+        return (h - self.filter_size + 1, w - self.filter_size + 1)
+
+    @property
+    def pooled_shape(self) -> Tuple[int, int]:
+        fh, fw = self.feature_map_shape
+        return (max(1, fh // self.pool_size), max(1, fw // self.pool_size))
+
+    @property
+    def n_output_features(self) -> int:
+        ph, pw = self.pooled_shape
+        return self.n_filters * ph * pw
+
+    def _as_images(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data, dtype=float)
+        if data.ndim == 2:
+            expected = int(np.prod(self.image_shape))
+            if data.shape[1] != expected:
+                raise ValidationError(
+                    f"flattened images have {data.shape[1]} values; expected {expected} "
+                    f"for image shape {self.image_shape}"
+                )
+            data = data.reshape((-1,) + self.image_shape)
+        if data.shape[1:] != self.image_shape:
+            # Allow (N, H, W) for single-channel models.
+            if data.shape[1:] == self.image_shape[:2] and self.image_shape[2] == 1:
+                data = data[..., None]
+            else:
+                raise ValidationError(
+                    f"data shape {data.shape[1:]} does not match image shape {self.image_shape}"
+                )
+        return data
+
+    def hidden_probabilities(self, data: np.ndarray) -> np.ndarray:
+        """P(h=1) feature maps of shape (N, out_h, out_w, n_filters)."""
+        images = self._as_images(data)
+        patches = _extract_patches(images, self.filter_size)
+        activations = patches @ self.filters.T + self.hidden_bias
+        return sigmoid(activations)
+
+    # ------------------------------------------------------------------ #
+    def train(
+        self,
+        data: np.ndarray,
+        *,
+        epochs: int = 3,
+        learning_rate: float = 0.01,
+        patches_per_image: int = 20,
+        rng: SeedLike = None,
+    ) -> list[float]:
+        """Train the filters with patch-wise CD-1.
+
+        Each epoch samples random patches from the images and performs CD-1
+        on a dense RBM whose visible layer is the flattened patch and whose
+        hidden layer is the filter bank — the standard way of training a
+        convolutional RBM's shared weights.
+        Returns per-epoch mean reconstruction errors.
+        """
+        check_positive(learning_rate, name="learning_rate")
+        if epochs < 1 or patches_per_image < 1:
+            raise ValidationError("epochs and patches_per_image must be >= 1")
+        images = self._as_images(data)
+        gen = as_rng(rng) if rng is not None else self._rng
+        h, w, c = self.image_shape
+        errors: list[float] = []
+        for _ in range(epochs):
+            epoch_err = []
+            for img in images:
+                ys = gen.integers(0, h - self.filter_size + 1, size=patches_per_image)
+                xs = gen.integers(0, w - self.filter_size + 1, size=patches_per_image)
+                patch_batch = np.stack(
+                    [
+                        img[y : y + self.filter_size, x : x + self.filter_size, :].reshape(-1)
+                        for y, x in zip(ys, xs)
+                    ]
+                )
+                h_prob = sigmoid(patch_batch @ self.filters.T + self.hidden_bias)
+                h_sample = bernoulli_sample(h_prob, gen)
+                v_prob = sigmoid(h_sample @ self.filters + self.visible_bias)
+                v_sample = bernoulli_sample(v_prob, gen)
+                h_neg_prob = sigmoid(v_sample @ self.filters.T + self.hidden_bias)
+
+                n = patch_batch.shape[0]
+                grad_f = (h_prob.T @ patch_batch - h_neg_prob.T @ v_sample) / n
+                self.filters += learning_rate * grad_f
+                self.hidden_bias += learning_rate * np.mean(h_prob - h_neg_prob, axis=0)
+                self.visible_bias += learning_rate * float(np.mean(patch_batch - v_sample))
+                epoch_err.append(float(np.mean((patch_batch - v_prob) ** 2)))
+            errors.append(float(np.mean(epoch_err)))
+        return errors
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Pooled feature vectors of shape (N, n_output_features) in [0, 1]."""
+        maps = self.hidden_probabilities(data)  # (N, fh, fw, F)
+        n, fh, fw, f = maps.shape
+        ph, pw = self.pooled_shape
+        # Truncate to a multiple of the pooling size, then average-pool.
+        maps = maps[:, : ph * self.pool_size, : pw * self.pool_size, :]
+        pooled = maps.reshape(n, ph, self.pool_size, pw, self.pool_size, f).mean(axis=(2, 4))
+        return pooled.reshape(n, -1)

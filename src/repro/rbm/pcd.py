@@ -1,0 +1,124 @@
+"""Persistent contrastive divergence (PCD) with ``p`` particles.
+
+The Boltzmann gradient follower keeps ``p`` persistent hidden-state
+particles for the negative phase (Sec. 3.3, citing Tieleman 2008).  This
+module provides the software reference for that training style: the
+negative-phase Markov chains are never re-initialized from the data but
+persist across updates, each minibatch advancing one (or more) of them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.rbm.rbm import BernoulliRBM, TrainingHistory
+from repro.utils.batching import minibatches
+from repro.utils.numerics import bernoulli_sample
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import ValidationError, check_array, check_positive
+
+
+class PCDTrainer:
+    """Persistent CD trainer.
+
+    Parameters
+    ----------
+    learning_rate:
+        Gradient step size.
+    n_particles:
+        Number of persistent fantasy particles (``p`` in the paper).
+    gibbs_steps:
+        Gibbs steps applied to each particle per parameter update.
+    batch_size:
+        Minibatch size for the positive phase.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.05,
+        *,
+        n_particles: int = 10,
+        gibbs_steps: int = 1,
+        batch_size: int = 10,
+        weight_decay: float = 0.0,
+        rng: SeedLike = None,
+    ):
+        self.learning_rate = check_positive(learning_rate, name="learning_rate")
+        if n_particles < 1:
+            raise ValidationError(f"n_particles must be >= 1, got {n_particles}")
+        if gibbs_steps < 1:
+            raise ValidationError(f"gibbs_steps must be >= 1, got {gibbs_steps}")
+        if batch_size < 1:
+            raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
+        self.n_particles = int(n_particles)
+        self.gibbs_steps = int(gibbs_steps)
+        self.batch_size = int(batch_size)
+        self.weight_decay = check_positive(weight_decay, name="weight_decay", strict=False)
+        self._rng = as_rng(rng)
+        self._particles_v: Optional[np.ndarray] = None
+
+    @property
+    def particles(self) -> Optional[np.ndarray]:
+        """Current visible states of the persistent particles (or ``None``)."""
+        return None if self._particles_v is None else self._particles_v.copy()
+
+    def _init_particles(self, rbm: BernoulliRBM) -> None:
+        self._particles_v = (self._rng.random((self.n_particles, rbm.n_visible)) < 0.5).astype(float)
+
+    def _advance_particles(self, rbm: BernoulliRBM) -> tuple[np.ndarray, np.ndarray]:
+        """Advance every particle by ``gibbs_steps`` full Gibbs steps."""
+        assert self._particles_v is not None
+        v = self._particles_v
+        h = bernoulli_sample(rbm.hidden_activation_probability(v), self._rng)
+        for _ in range(self.gibbs_steps):
+            v = bernoulli_sample(rbm.visible_activation_probability(h), self._rng)
+            h = bernoulli_sample(rbm.hidden_activation_probability(v), self._rng)
+        self._particles_v = v
+        return v, h
+
+    def train(
+        self,
+        rbm: BernoulliRBM,
+        data: np.ndarray,
+        *,
+        epochs: int = 10,
+        shuffle: bool = True,
+        reset_particles: bool = True,
+    ) -> TrainingHistory:
+        """Train ``rbm`` in place with persistent CD."""
+        data = check_array(data, name="data", ndim=2)
+        if data.shape[1] != rbm.n_visible:
+            raise ValidationError(
+                f"data has {data.shape[1]} features but the RBM has "
+                f"{rbm.n_visible} visible units"
+            )
+        if epochs < 1:
+            raise ValidationError(f"epochs must be >= 1, got {epochs}")
+        if reset_particles or self._particles_v is None:
+            self._init_particles(rbm)
+        elif self._particles_v.shape[1] != rbm.n_visible:
+            raise ValidationError("persistent particles do not match the RBM's visible size")
+
+        history = TrainingHistory()
+        for epoch in range(epochs):
+            for batch in minibatches(data, self.batch_size, shuffle=shuffle, rng=self._rng):
+                h_pos_prob = rbm.hidden_activation_probability(batch)
+                v_neg, h_neg = self._advance_particles(rbm)
+                h_neg_prob = rbm.hidden_activation_probability(v_neg)
+
+                batch_n = batch.shape[0]
+                grad_w = batch.T @ h_pos_prob / batch_n - v_neg.T @ h_neg_prob / self.n_particles
+                grad_bv = np.mean(batch, axis=0) - np.mean(v_neg, axis=0)
+                grad_bh = np.mean(h_pos_prob, axis=0) - np.mean(h_neg_prob, axis=0)
+                if self.weight_decay:
+                    grad_w = grad_w - self.weight_decay * rbm.weights
+
+                rbm.weights += self.learning_rate * grad_w
+                rbm.visible_bias += self.learning_rate * grad_bv
+                rbm.hidden_bias += self.learning_rate * grad_bh
+
+            recon = rbm.reconstruct(data)
+            history.record(epoch, float(np.mean((data - recon) ** 2)))
+        return history

@@ -1,0 +1,107 @@
+"""Numerically-stable primitives used across the library.
+
+The RBM energy/probability machinery works in log space almost everywhere
+(free energies, AIS weights, exact partition functions), so a stable
+``logsumexp`` / ``log1pexp`` pair is the foundation.  The sampling paths
+(software Gibbs and the analog comparator model) share a single
+``bernoulli_sample`` implementation so that CPU and "hardware" runs draw
+through the same code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically-stable logistic function ``1 / (1 + exp(-x))``."""
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x, dtype=float)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def log_sigmoid(x: np.ndarray) -> np.ndarray:
+    """``log(sigmoid(x))`` computed without overflow."""
+    x = np.asarray(x, dtype=float)
+    return -log1pexp(-x)
+
+
+def log1pexp(x: np.ndarray) -> np.ndarray:
+    """``log(1 + exp(x))`` (softplus) computed without overflow."""
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x, dtype=float)
+    small = x <= 0
+    out[small] = np.log1p(np.exp(x[small]))
+    out[~small] = x[~small] + np.log1p(np.exp(-x[~small]))
+    return out
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Alias of :func:`log1pexp`, the conventional neural-network name."""
+    return log1pexp(x)
+
+
+def logsumexp(x: np.ndarray, axis: Optional[int] = None, keepdims: bool = False) -> np.ndarray:
+    """Stable ``log(sum(exp(x)))`` along ``axis``."""
+    x = np.asarray(x, dtype=float)
+    xmax = np.max(x, axis=axis, keepdims=True)
+    xmax = np.where(np.isfinite(xmax), xmax, 0.0)
+    shifted = np.exp(x - xmax)
+    summed = np.sum(shifted, axis=axis, keepdims=True)
+    out = np.log(summed) + xmax
+    if not keepdims and axis is not None:
+        out = np.squeeze(out, axis=axis)
+    if axis is None and not keepdims:
+        out = float(np.squeeze(out))
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=float)
+    xmax = np.max(x, axis=axis, keepdims=True)
+    ex = np.exp(x - xmax)
+    return ex / np.sum(ex, axis=axis, keepdims=True)
+
+
+def bernoulli_sample(p: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+    """Draw Bernoulli samples (0/1 floats) with success probability ``p``.
+
+    This is the single sampling primitive shared by the software CD-k
+    reference implementation and the GS/BGF behavioral models, mirroring
+    the paper's ``rand() < sigmoid(...)`` lines in Algorithm 1.
+    """
+    gen = as_rng(rng)
+    p = np.asarray(p, dtype=float)
+    return (gen.random(p.shape) < p).astype(float)
+
+
+def sign_to_binary(sigma: np.ndarray) -> np.ndarray:
+    """Map Ising spins in {-1,+1} to QUBO bits in {0,1} (``b = (sigma+1)/2``)."""
+    sigma = np.asarray(sigma, dtype=float)
+    return (sigma + 1.0) / 2.0
+
+
+def binary_to_sign(bits: np.ndarray) -> np.ndarray:
+    """Map QUBO bits in {0,1} to Ising spins in {-1,+1} (``sigma = 2b - 1``)."""
+    bits = np.asarray(bits, dtype=float)
+    return 2.0 * bits - 1.0
+
+
+def clip_norm(x: np.ndarray, max_norm: float) -> np.ndarray:
+    """Rescale ``x`` so its L2 norm does not exceed ``max_norm``."""
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    x = np.asarray(x, dtype=float)
+    norm = float(np.linalg.norm(x))
+    if norm <= max_norm or norm == 0.0:
+        return x
+    return x * (max_norm / norm)

@@ -1,0 +1,94 @@
+"""Input-validation helpers with consistent, informative error messages."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ValidationError(ValueError):
+    """Raised when an argument fails library-level validation."""
+
+
+def check_array(
+    x,
+    *,
+    name: str = "array",
+    ndim: Optional[int] = None,
+    shape: Optional[Sequence[Optional[int]]] = None,
+    dtype=float,
+) -> np.ndarray:
+    """Coerce ``x`` to an ndarray and validate its dimensionality/shape.
+
+    ``shape`` entries of ``None`` act as wildcards, e.g. ``shape=(None, 10)``
+    requires a 2-D array whose second dimension is exactly 10.
+    """
+    arr = np.asarray(x, dtype=dtype)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValidationError(f"{name} must have ndim={ndim}, got ndim={arr.ndim}")
+    if shape is not None:
+        if arr.ndim != len(shape):
+            raise ValidationError(
+                f"{name} must have ndim={len(shape)}, got ndim={arr.ndim}"
+            )
+        for axis, expected in enumerate(shape):
+            if expected is not None and arr.shape[axis] != expected:
+                raise ValidationError(
+                    f"{name} axis {axis} must have size {expected}, got {arr.shape[axis]}"
+                )
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_binary(x, *, name: str = "array") -> np.ndarray:
+    """Validate that ``x`` holds only 0/1 values (as floats)."""
+    arr = np.asarray(x, dtype=float)
+    if arr.size and not np.all((arr == 0.0) | (arr == 1.0)):
+        bad = arr[(arr != 0.0) & (arr != 1.0)]
+        raise ValidationError(
+            f"{name} must be binary (0/1); found values such as {bad.flat[0]!r}"
+        )
+    return arr
+
+
+def check_probability(x, *, name: str = "probability") -> np.ndarray:
+    """Validate that ``x`` lies in [0, 1]."""
+    arr = np.asarray(x, dtype=float)
+    if arr.size and (np.min(arr) < 0.0 or np.max(arr) > 1.0):
+        raise ValidationError(
+            f"{name} must lie in [0, 1]; range is [{np.min(arr)}, {np.max(arr)}]"
+        )
+    return arr
+
+
+def check_positive(value: float, *, name: str = "value", strict: bool = True) -> float:
+    """Validate that a scalar is positive (or non-negative when ``strict=False``)."""
+    value = float(value)
+    if strict and value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    low: float,
+    high: float,
+    *,
+    name: str = "value",
+    inclusive: Tuple[bool, bool] = (True, True),
+) -> float:
+    """Validate that ``low (<|<=) value (<|<=) high``."""
+    value = float(value)
+    lo_ok = value >= low if inclusive[0] else value > low
+    hi_ok = value <= high if inclusive[1] else value < high
+    if not (lo_ok and hi_ok):
+        lo_br = "[" if inclusive[0] else "("
+        hi_br = "]" if inclusive[1] else ")"
+        raise ValidationError(
+            f"{name} must be in {lo_br}{low}, {high}{hi_br}, got {value}"
+        )
+    return value

@@ -1,0 +1,158 @@
+"""Tests for the charge-pump weight-update model (the BGF's f_ij)."""
+
+import numpy as np
+import pytest
+
+from repro.analog import ChargePumpUpdater
+from repro.utils.validation import ValidationError
+
+
+def _pump(**kwargs) -> ChargePumpUpdater:
+    defaults = dict(shape=(4, 3), step_size=0.1, weight_range=(-1.0, 1.0), rng=0)
+    defaults.update(kwargs)
+    return ChargePumpUpdater(**defaults)
+
+
+class TestConfiguration:
+    def test_invalid_shape(self):
+        with pytest.raises(ValidationError):
+            ChargePumpUpdater((0, 3), 0.1)
+
+    def test_invalid_step(self):
+        with pytest.raises(ValidationError):
+            ChargePumpUpdater((2, 2), 0.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValidationError):
+            ChargePumpUpdater((2, 2), 0.1, weight_range=(1.0, -1.0))
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValidationError):
+            ChargePumpUpdater((2, 2), 0.1, saturation_margin=0.0)
+
+
+class TestBasicUpdates:
+    def test_positive_phase_increments_only_active_units(self):
+        pump = _pump(saturation=False)
+        weights = np.zeros((4, 3))
+        correlation = np.zeros((4, 3))
+        correlation[1, 2] = 1.0
+        pump.apply(weights, correlation, positive=True)
+        assert weights[1, 2] == pytest.approx(0.1)
+        assert np.count_nonzero(weights) == 1
+
+    def test_negative_phase_decrements(self):
+        pump = _pump(saturation=False)
+        weights = np.zeros((4, 3))
+        correlation = np.ones((4, 3))
+        pump.apply(weights, correlation, positive=False)
+        np.testing.assert_allclose(weights, -0.1)
+
+    def test_weights_modified_in_place(self):
+        pump = _pump()
+        weights = np.zeros((4, 3))
+        out = pump.apply(weights, np.ones((4, 3)), positive=True)
+        assert out is weights
+
+    def test_inactive_units_untouched(self):
+        pump = _pump()
+        weights = np.full((4, 3), 0.3)
+        pump.apply(weights, np.zeros((4, 3)), positive=True)
+        np.testing.assert_allclose(weights, 0.3)
+
+    def test_correlation_must_be_binary(self):
+        pump = _pump()
+        with pytest.raises(ValidationError):
+            pump.apply(np.zeros((4, 3)), np.full((4, 3), 0.5), positive=True)
+
+    def test_shape_mismatch_rejected(self):
+        pump = _pump()
+        with pytest.raises(ValidationError):
+            pump.apply(np.zeros((3, 4)), np.zeros((3, 4)), positive=True)
+
+
+class TestSaturationNonlinearity:
+    def test_weights_never_exceed_range(self):
+        pump = _pump(step_size=0.3)
+        weights = np.zeros((4, 3))
+        for _ in range(50):
+            pump.apply(weights, np.ones((4, 3)), positive=True)
+        assert weights.max() <= 1.0 + 1e-12
+
+    def test_step_shrinks_near_positive_rail(self):
+        pump = _pump(saturation_margin=0.5)
+        far = pump.step_matrix(np.zeros((4, 3)), positive=True)
+        near = pump.step_matrix(np.full((4, 3), 0.9), positive=True)
+        assert np.all(near < far)
+
+    def test_step_constant_in_linear_region(self):
+        """The designed pump transfers a fixed charge packet away from the rails."""
+        pump = _pump(saturation_margin=0.25)
+        low = pump.step_matrix(np.full((4, 3), -0.2), positive=True)
+        mid = pump.step_matrix(np.zeros((4, 3)), positive=True)
+        np.testing.assert_allclose(low, mid)
+
+    def test_decrement_saturates_at_negative_rail(self):
+        pump = _pump(step_size=0.3)
+        weights = np.zeros((4, 3))
+        for _ in range(50):
+            pump.apply(weights, np.ones((4, 3)), positive=False)
+        assert weights.min() >= -1.0 - 1e-12
+
+    def test_no_saturation_mode_clips_hard(self):
+        pump = _pump(saturation=False, step_size=0.4)
+        weights = np.full((4, 3), 0.9)
+        pump.apply(weights, np.ones((4, 3)), positive=True)
+        np.testing.assert_allclose(weights, 1.0)
+
+
+class TestVariationAndNoise:
+    def test_static_variation_gives_per_unit_steps(self):
+        pump = _pump(variation_rms=0.3, rng=1)
+        steps = pump.step_matrix(np.zeros((4, 3)), positive=True)
+        assert np.std(steps) > 0.0
+
+    def test_static_variation_is_static(self):
+        pump = _pump(variation_rms=0.3, rng=2)
+        a = pump.step_matrix(np.zeros((4, 3)), positive=True)
+        b = pump.step_matrix(np.zeros((4, 3)), positive=True)
+        np.testing.assert_array_equal(a, b)
+
+    def test_dynamic_noise_varies_updates(self):
+        pump = _pump(noise_rms=0.3, rng=3)
+        weights_a = np.zeros((4, 3))
+        weights_b = np.zeros((4, 3))
+        pump.apply(weights_a, np.ones((4, 3)), positive=True)
+        pump.apply(weights_b, np.ones((4, 3)), positive=True)
+        assert not np.allclose(weights_a, weights_b)
+
+    def test_expected_update_close_to_nominal_under_noise(self):
+        pump = _pump(step_size=0.004, noise_rms=0.2, rng=4, saturation=False)
+        weights = np.zeros((4, 3))
+        n_updates = 200
+        for _ in range(n_updates):
+            pump.apply(weights, np.ones((4, 3)), positive=True)
+        np.testing.assert_allclose(weights / n_updates, 0.004, rtol=0.1)
+
+
+class TestBiasUpdates:
+    def test_bias_increment_and_decrement(self):
+        pump = _pump(saturation=False)
+        biases = np.zeros(4)
+        active = np.array([1.0, 0.0, 1.0, 0.0])
+        pump.apply_bias(biases, active, positive=True)
+        np.testing.assert_allclose(biases, [0.1, 0.0, 0.1, 0.0])
+        pump.apply_bias(biases, active, positive=False)
+        np.testing.assert_allclose(biases, 0.0, atol=1e-12)
+
+    def test_bias_respects_range(self):
+        pump = _pump(step_size=0.5)
+        biases = np.zeros(3)
+        for _ in range(20):
+            pump.apply_bias(biases, np.ones(3), positive=True)
+        assert biases.max() <= 1.0 + 1e-12
+
+    def test_bias_shape_mismatch(self):
+        pump = _pump()
+        with pytest.raises(ValidationError):
+            pump.apply_bias(np.zeros(3), np.zeros(4), positive=True)

@@ -1,0 +1,91 @@
+"""Tests for the DTC/ADC converter models."""
+
+import numpy as np
+import pytest
+
+from repro.analog import AnalogToDigitalConverter, DigitalToTimeConverter, quantize_uniform
+from repro.utils.validation import ValidationError
+
+
+class TestQuantizeUniform:
+    def test_endpoints_exact(self):
+        values = np.array([0.0, 1.0])
+        np.testing.assert_array_equal(quantize_uniform(values, 8, (0.0, 1.0)), values)
+
+    def test_number_of_levels(self):
+        values = np.linspace(0, 1, 1000)
+        quantized = quantize_uniform(values, 3, (0.0, 1.0))
+        assert np.unique(quantized).size == 8
+
+    def test_error_bounded_by_half_lsb(self):
+        values = np.random.default_rng(0).random(500)
+        quantized = quantize_uniform(values, 8, (0.0, 1.0))
+        lsb = 1.0 / 255
+        assert np.max(np.abs(values - quantized)) <= lsb / 2 + 1e-12
+
+    def test_clipping_outside_range(self):
+        quantized = quantize_uniform(np.array([-5.0, 5.0]), 4, (-1.0, 1.0))
+        np.testing.assert_array_equal(quantized, [-1.0, 1.0])
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValidationError):
+            quantize_uniform(np.zeros(3), 0, (0.0, 1.0))
+
+    def test_invalid_range(self):
+        with pytest.raises(ValidationError):
+            quantize_uniform(np.zeros(3), 4, (1.0, 0.0))
+
+
+class TestDigitalToTimeConverter:
+    def test_lsb(self):
+        dtc = DigitalToTimeConverter(8)
+        assert dtc.lsb == pytest.approx(1.0 / 255)
+
+    def test_ideal_conversion_error(self):
+        dtc = DigitalToTimeConverter(8)
+        values = np.random.default_rng(1).random(200)
+        assert np.max(np.abs(dtc.convert(values) - values)) <= dtc.lsb / 2 + 1e-12
+
+    def test_one_bit_converter(self):
+        dtc = DigitalToTimeConverter(1)
+        out = dtc.convert(np.array([0.2, 0.8]))
+        np.testing.assert_array_equal(out, [0.0, 1.0])
+
+    def test_nonlinearity_adds_error_but_stays_in_range(self):
+        dtc = DigitalToTimeConverter(8, nonlinearity_rms=1.0, rng=0)
+        values = np.random.default_rng(2).random(500)
+        out = dtc.convert(values)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert not np.allclose(out, DigitalToTimeConverter(8).convert(values))
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValidationError):
+            DigitalToTimeConverter(0)
+        with pytest.raises(ValidationError):
+            DigitalToTimeConverter(8, value_range=(1.0, 0.0))
+
+
+class TestAnalogToDigitalConverter:
+    def test_round_trip_error_bounded(self):
+        adc = AnalogToDigitalConverter(8, value_range=(-1.0, 1.0))
+        values = np.random.default_rng(3).uniform(-1, 1, 300)
+        assert np.max(np.abs(adc.read(values) - values)) <= adc.lsb / 2 + 1e-12
+
+    def test_readout_quantization_is_coarse_at_low_bits(self):
+        adc = AnalogToDigitalConverter(2, value_range=(-1.0, 1.0))
+        values = np.random.default_rng(4).uniform(-1, 1, 300)
+        assert np.unique(adc.read(values)).size <= 4
+
+    def test_columnwise_read_matches_full_read(self):
+        adc = AnalogToDigitalConverter(8, value_range=(-2.0, 2.0))
+        matrix = np.random.default_rng(5).uniform(-2, 2, (6, 4))
+        np.testing.assert_array_equal(adc.read_columnwise(matrix), adc.read(matrix))
+
+    def test_columnwise_requires_matrix(self):
+        adc = AnalogToDigitalConverter(8)
+        with pytest.raises(ValidationError):
+            adc.read_columnwise(np.zeros(5))
+
+    def test_paper_default_is_8_bits(self):
+        assert AnalogToDigitalConverter().n_bits == 8
+        assert DigitalToTimeConverter().n_bits == 8

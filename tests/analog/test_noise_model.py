@@ -1,0 +1,86 @@
+"""Tests for the noise/variation injection model (Sec. 4.5 methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.analog import NoiseConfig, NoiseModel
+from repro.analog.noise import FIGURE8_NOISE_CONFIGS, full_noise_sweep
+from repro.utils.validation import ValidationError
+
+
+class TestNoiseConfig:
+    def test_label_format(self):
+        assert NoiseConfig(0.1, 0.3).label == "0.1_0.3"
+        assert NoiseConfig(0.0, 0.0).label == "0_0"
+
+    def test_is_ideal(self):
+        assert NoiseConfig().is_ideal
+        assert not NoiseConfig(0.1, 0.0).is_ideal
+
+    def test_negative_rms_rejected(self):
+        with pytest.raises(ValidationError):
+            NoiseConfig(-0.1, 0.0)
+
+    def test_figure8_configs_match_paper(self):
+        labels = [c.label for c in FIGURE8_NOISE_CONFIGS]
+        assert labels == ["0_0", "0.03_0.03", "0.05_0.05", "0.1_0.1", "0.2_0.2", "0.3_0.3"]
+
+    def test_full_sweep_is_25_combinations(self):
+        sweep = full_noise_sweep()
+        assert len(sweep) == 25
+        assert len({c.label for c in sweep}) == 25
+
+
+class TestNoiseModel:
+    def test_ideal_model_is_identity(self):
+        model = NoiseModel(NoiseConfig(), (5, 4), rng=0)
+        weights = np.random.default_rng(1).normal(size=(5, 4))
+        np.testing.assert_array_equal(model.effective_weights(weights), weights)
+        np.testing.assert_array_equal(model.perturbed_coupling(weights), weights)
+        np.testing.assert_array_equal(model.node_noise((3, 4)), np.zeros((3, 4)))
+
+    def test_static_variation_drawn_once(self):
+        model = NoiseModel(NoiseConfig(0.2, 0.0), (5, 4), rng=0)
+        weights = np.ones((5, 4))
+        a = model.effective_weights(weights)
+        b = model.effective_weights(weights)
+        np.testing.assert_array_equal(a, b)
+        assert not np.allclose(a, weights)
+
+    def test_variation_rms_magnitude(self):
+        model = NoiseModel(NoiseConfig(0.1, 0.0), (100, 100), rng=1)
+        deviation = model.coupling_gain - 1.0
+        assert np.std(deviation) == pytest.approx(0.1, rel=0.1)
+
+    def test_dynamic_noise_fresh_each_call(self):
+        model = NoiseModel(NoiseConfig(0.0, 0.2), (5, 4), rng=2)
+        a = model.coupling_noise()
+        b = model.coupling_noise()
+        assert not np.allclose(a, b)
+
+    def test_node_noise_scale(self):
+        model = NoiseModel(NoiseConfig(0.0, 0.1), (5, 4), rng=3)
+        noise = model.node_noise(10000, scale=2.0)
+        assert np.std(noise) == pytest.approx(0.2, rel=0.1)
+
+    def test_perturbed_coupling_combines_both(self):
+        model = NoiseModel(NoiseConfig(0.1, 0.1), (5, 4), rng=4)
+        weights = np.ones((5, 4))
+        a = model.perturbed_coupling(weights)
+        b = model.perturbed_coupling(weights)
+        # static part the same, dynamic part differs
+        assert not np.allclose(a, b)
+
+    def test_weight_shape_check(self):
+        model = NoiseModel(NoiseConfig(0.1, 0.0), (5, 4), rng=0)
+        with pytest.raises(ValidationError):
+            model.effective_weights(np.ones((4, 5)))
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValidationError):
+            NoiseModel(NoiseConfig(), (0, 4))
+
+    def test_deterministic_for_seed(self):
+        a = NoiseModel(NoiseConfig(0.2, 0.0), (6, 6), rng=9).coupling_gain
+        b = NoiseModel(NoiseConfig(0.2, 0.0), (6, 6), rng=9).coupling_gain
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deliberately tiny: the functional claims under test are
+relative (algorithm A matches algorithm B, property P holds for any input),
+so small models and datasets keep the full suite fast while still
+exercising every code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_mnist_like, make_fraud_like, make_movielens_like
+from repro.rbm import BernoulliRBM
+
+
+@pytest.fixture(scope="session")
+def tiny_binary_data() -> np.ndarray:
+    """60 binary vectors of length 16 with prototype structure."""
+    rng = np.random.default_rng(42)
+    prototypes = (rng.random((4, 16)) < 0.4).astype(float)
+    data = prototypes[rng.integers(0, 4, size=60)]
+    flips = rng.random(data.shape) < 0.05
+    return np.where(flips, 1.0 - data, data)
+
+
+@pytest.fixture(scope="session")
+def tiny_image_dataset():
+    """A pooled, small MNIST-like dataset (49 features, ~100 samples)."""
+    return load_mnist_like(scale=0.05, seed=0).pooled(4)
+
+
+@pytest.fixture(scope="session")
+def tiny_ratings_dataset():
+    """A small synthetic ratings matrix."""
+    return make_movielens_like(n_users=40, n_items=25, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_fraud_dataset():
+    """A small synthetic anomaly-detection dataset."""
+    return make_fraud_like(n_train=200, n_test=150, seed=0)
+
+
+@pytest.fixture
+def small_rbm() -> BernoulliRBM:
+    """A 16-visible / 8-hidden RBM with a fixed seed."""
+    return BernoulliRBM(16, 8, rng=0)
+
+
+@pytest.fixture
+def tiny_rbm() -> BernoulliRBM:
+    """A 6-visible / 3-hidden RBM small enough for exact enumeration."""
+    rbm = BernoulliRBM(6, 3, rng=1)
+    rng = np.random.default_rng(7)
+    rbm.set_parameters(
+        rng.normal(0, 0.5, (6, 3)),
+        rng.normal(0, 0.3, 6),
+        rng.normal(0, 0.3, 3),
+    )
+    return rbm

@@ -1,0 +1,65 @@
+"""Tests for the synthetic fraud/anomaly dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_fraud_like
+from repro.utils.validation import ValidationError
+
+
+class TestMakeFraudLike:
+    def test_shapes(self):
+        ds = make_fraud_like(n_train=100, n_test=80, seed=0)
+        assert ds.train_x.shape == (100, 28)
+        assert ds.test_x.shape == (80, 28)
+        assert ds.test_y.shape == (80,)
+
+    def test_feature_range(self):
+        ds = make_fraud_like(n_train=100, n_test=50, seed=1)
+        assert ds.train_x.min() >= 0.0
+        assert ds.train_x.max() <= 1.0
+        assert ds.test_x.min() >= 0.0
+        assert ds.test_x.max() <= 1.0
+
+    def test_fraud_fraction(self):
+        ds = make_fraud_like(n_train=100, n_test=200, fraud_fraction=0.1, seed=2)
+        assert ds.test_y.sum() == pytest.approx(20, abs=1)
+
+    def test_custom_feature_count(self):
+        ds = make_fraud_like(n_train=50, n_test=40, n_features=12, seed=3)
+        assert ds.n_features == 12
+
+    def test_deterministic(self):
+        a = make_fraud_like(n_train=50, n_test=40, seed=4)
+        b = make_fraud_like(n_train=50, n_test=40, seed=4)
+        np.testing.assert_array_equal(a.test_x, b.test_x)
+        np.testing.assert_array_equal(a.test_y, b.test_y)
+
+    def test_fraud_is_separated_from_normal(self):
+        # The fraud cluster must differ from the normal cluster in feature
+        # space, otherwise the detection task would be impossible.
+        ds = make_fraud_like(n_train=200, n_test=400, fraud_fraction=0.2, seed=5)
+        normal = ds.test_x[ds.test_y == 0]
+        fraud = ds.test_x[ds.test_y == 1]
+        distance = np.linalg.norm(normal.mean(axis=0) - fraud.mean(axis=0))
+        within_spread = np.mean(np.linalg.norm(normal - normal.mean(axis=0), axis=1))
+        assert distance > 0.1 * within_spread
+
+    def test_separation_parameter_increases_distance(self):
+        near = make_fraud_like(n_train=100, n_test=300, separation=0.5, fraud_fraction=0.2, seed=6)
+        far = make_fraud_like(n_train=100, n_test=300, separation=4.0, fraud_fraction=0.2, seed=6)
+
+        def gap(ds):
+            return np.linalg.norm(
+                ds.test_x[ds.test_y == 0].mean(axis=0) - ds.test_x[ds.test_y == 1].mean(axis=0)
+            )
+
+        assert gap(far) > gap(near)
+
+    def test_invalid_fraud_fraction(self):
+        with pytest.raises(ValidationError):
+            make_fraud_like(fraud_fraction=0.0)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValidationError):
+            make_fraud_like(n_train=0)

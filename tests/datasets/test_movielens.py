@@ -1,0 +1,72 @@
+"""Tests for the synthetic MovieLens-like ratings generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_movielens_like
+from repro.utils.validation import ValidationError
+
+
+class TestMakeMovielensLike:
+    def test_shapes(self):
+        ds = make_movielens_like(n_users=50, n_items=30, seed=0)
+        assert ds.train_ratings.shape == (50, 30)
+        assert ds.test_ratings.shape == (50, 30)
+
+    def test_rating_values(self):
+        ds = make_movielens_like(n_users=40, n_items=20, seed=1)
+        observed = ds.train_ratings[ds.train_ratings > 0]
+        assert observed.min() >= 1
+        assert observed.max() <= 5
+
+    def test_train_test_disjoint(self):
+        ds = make_movielens_like(n_users=40, n_items=20, seed=2)
+        overlap = (ds.train_ratings > 0) & (ds.test_ratings > 0)
+        assert not overlap.any()
+
+    def test_every_user_has_train_and_test_ratings(self):
+        ds = make_movielens_like(n_users=30, n_items=20, seed=3)
+        assert np.all((ds.train_ratings > 0).sum(axis=1) >= 1)
+        assert np.all((ds.test_ratings > 0).sum(axis=1) >= 1)
+
+    def test_density_controls_observation_count(self):
+        sparse = make_movielens_like(n_users=60, n_items=40, density=0.1, seed=4)
+        dense = make_movielens_like(n_users=60, n_items=40, density=0.5, seed=4)
+        assert dense.n_train_ratings > sparse.n_train_ratings
+
+    def test_deterministic(self):
+        a = make_movielens_like(n_users=30, n_items=15, seed=5)
+        b = make_movielens_like(n_users=30, n_items=15, seed=5)
+        np.testing.assert_array_equal(a.train_ratings, b.train_ratings)
+        np.testing.assert_array_equal(a.test_ratings, b.test_ratings)
+
+    def test_all_rating_levels_used(self):
+        ds = make_movielens_like(n_users=100, n_items=60, seed=6)
+        observed = ds.train_ratings[ds.train_ratings > 0]
+        assert set(np.unique(observed)) == {1, 2, 3, 4, 5}
+
+    def test_user_bias_structure_is_learnable(self):
+        # Users with high training means should also have high test means:
+        # the main-effect structure the recommender exploits must survive
+        # the train/test split.
+        ds = make_movielens_like(n_users=150, n_items=80, seed=7)
+        train_means = np.array([
+            row[row > 0].mean() if (row > 0).any() else 3.0 for row in ds.train_ratings
+        ])
+        test_means = np.array([
+            row[row > 0].mean() if (row > 0).any() else 3.0 for row in ds.test_ratings
+        ])
+        correlation = np.corrcoef(train_means, test_means)[0, 1]
+        assert correlation > 0.5
+
+    def test_invalid_density(self):
+        with pytest.raises(ValidationError):
+            make_movielens_like(n_users=10, n_items=10, density=0.0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValidationError):
+            make_movielens_like(n_users=1, n_items=10)
+
+    def test_invalid_test_fraction(self):
+        with pytest.raises(ValidationError):
+            make_movielens_like(n_users=10, n_items=10, test_fraction=1.0)

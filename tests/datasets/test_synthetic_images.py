@@ -1,0 +1,127 @@
+"""Tests for the synthetic image dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ImageDatasetSpec,
+    load_cifar10_like,
+    load_emnist_like,
+    load_fmnist_like,
+    load_kmnist_like,
+    load_mnist_like,
+    load_smallnorb_like,
+    make_image_dataset,
+)
+from repro.utils.validation import ValidationError
+
+LOADERS = [
+    (load_mnist_like, 784, 10),
+    (load_kmnist_like, 784, 10),
+    (load_fmnist_like, 784, 10),
+    (load_emnist_like, 784, 26),
+    (load_cifar10_like, 108, 10),
+    (load_smallnorb_like, 36, 5),
+]
+
+
+class TestLoaders:
+    @pytest.mark.parametrize("loader, n_features, n_classes", LOADERS)
+    def test_shapes_match_table1(self, loader, n_features, n_classes):
+        dataset = loader(scale=0.02)
+        assert dataset.n_features == n_features
+        assert dataset.n_classes == n_classes
+
+    @pytest.mark.parametrize("loader, n_features, n_classes", LOADERS)
+    def test_values_in_unit_interval(self, loader, n_features, n_classes):
+        dataset = loader(scale=0.02)
+        assert dataset.train_x.min() >= 0.0
+        assert dataset.train_x.max() <= 1.0
+
+    @pytest.mark.parametrize("loader, n_features, n_classes", LOADERS)
+    def test_labels_in_range(self, loader, n_features, n_classes):
+        dataset = loader(scale=0.02)
+        assert dataset.train_y.min() >= 0
+        assert dataset.train_y.max() < n_classes
+
+    def test_scale_controls_sample_count(self):
+        small = load_mnist_like(scale=0.02)
+        large = load_mnist_like(scale=0.1)
+        assert large.n_train > small.n_train
+
+    def test_deterministic_for_seed(self):
+        a = load_mnist_like(scale=0.02, seed=3)
+        b = load_mnist_like(scale=0.02, seed=3)
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+        np.testing.assert_array_equal(a.train_y, b.train_y)
+
+    def test_different_seeds_differ(self):
+        a = load_mnist_like(scale=0.02, seed=3)
+        b = load_mnist_like(scale=0.02, seed=4)
+        assert not np.allclose(a.train_x, b.train_x)
+
+    def test_nist_like_images_are_sparse(self):
+        # Bright strokes on a dark background: mean activity well below 0.5.
+        dataset = load_mnist_like(scale=0.05)
+        assert dataset.train_x.mean() < 0.45
+
+
+class TestClassStructure:
+    def test_within_class_closer_than_between_class(self):
+        dataset = load_mnist_like(scale=0.05, seed=0)
+        x, y = dataset.train_x, dataset.train_y
+        centroids = np.stack([x[y == c].mean(axis=0) for c in range(dataset.n_classes)])
+        within = np.mean([np.linalg.norm(x[i] - centroids[y[i]]) for i in range(len(y))])
+        rng = np.random.default_rng(0)
+        other = np.mean(
+            [
+                np.linalg.norm(x[i] - centroids[(y[i] + 1 + rng.integers(dataset.n_classes - 1)) % dataset.n_classes])
+                for i in range(len(y))
+            ]
+        )
+        assert within < other
+
+    def test_every_class_represented_in_train(self):
+        dataset = load_emnist_like(scale=0.1, seed=1)
+        assert set(np.unique(dataset.train_y)) == set(range(26))
+
+
+class TestMakeImageDataset:
+    def test_custom_spec(self):
+        spec = ImageDatasetSpec(
+            name="custom", image_shape=(8, 8), n_classes=3, n_train=30, n_test=12
+        )
+        dataset = make_image_dataset(spec, seed=0)
+        assert dataset.n_features == 64
+        assert dataset.n_train == 30
+        assert dataset.n_test == 12
+
+    def test_color_images(self):
+        spec = ImageDatasetSpec(
+            name="color", image_shape=(5, 5, 3), n_classes=2, n_train=20, n_test=8, jitter=0
+        )
+        dataset = make_image_dataset(spec, seed=0)
+        assert dataset.n_features == 75
+
+    def test_single_class_rejected(self):
+        spec = ImageDatasetSpec(
+            name="bad", image_shape=(4, 4), n_classes=1, n_train=10, n_test=5
+        )
+        with pytest.raises(ValidationError):
+            make_image_dataset(spec)
+
+    def test_zero_samples_rejected(self):
+        spec = ImageDatasetSpec(
+            name="bad", image_shape=(4, 4), n_classes=2, n_train=0, n_test=5
+        )
+        with pytest.raises(ValidationError):
+            make_image_dataset(spec)
+
+    def test_grayscale_quantization(self):
+        spec = ImageDatasetSpec(
+            name="q", image_shape=(4, 4), n_classes=2, n_train=20, n_test=5,
+            grayscale_levels=4, pixel_noise=0.3,
+        )
+        dataset = make_image_dataset(spec, seed=0)
+        levels = np.unique(np.round(dataset.train_x * 3))
+        assert levels.size <= 4

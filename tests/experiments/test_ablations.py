@@ -1,0 +1,89 @@
+"""Tests for the ablation-study drivers (reduced parameters)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    format_ablation,
+    run_gs_communication_breakdown,
+    run_negative_phase_ablation,
+    run_precision_ablation,
+    run_saturation_ablation,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestSaturationAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_saturation_ablation(
+            epochs=4, weight_ranges=(1.0, 4.0), seed=0, ais_chains=16, ais_betas=50
+        )
+
+    def test_row_grid(self, result):
+        assert len(result.rows) == 4  # 2 ranges x saturation on/off
+        assert {row["saturation"] for row in result.rows} == {True, False}
+
+    def test_quality_values_finite(self, result):
+        for row in result.rows:
+            assert row["avg_log_probability"] < 0
+
+    def test_formatting(self, result):
+        assert "weight_range" in format_ablation(result)
+
+    def test_empty_ranges_rejected(self):
+        with pytest.raises(ValidationError):
+            run_saturation_ablation(weight_ranges=())
+
+
+class TestNegativePhaseAblation:
+    def test_row_grid(self):
+        result = run_negative_phase_ablation(
+            epochs=3, anneal_steps=(1, 2), particle_counts=(1,), seed=0,
+            ais_chains=16, ais_betas=50,
+        )
+        assert len(result.rows) == 2
+        assert {row["anneal_steps"] for row in result.rows} == {1, 2}
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            run_negative_phase_ablation(anneal_steps=())
+
+
+class TestPrecisionAblation:
+    def test_includes_analog_reference(self):
+        result = run_precision_ablation(
+            epochs=3, readout_bits=(4,), seed=0, ais_chains=16, ais_betas=50
+        )
+        bits = [row["readout_bits"] for row in result.rows]
+        assert bits == [4, 0]
+        labels = [row["label"] for row in result.rows]
+        assert "analog (no ADC)" in labels
+
+    def test_empty_bits_rejected(self):
+        with pytest.raises(ValidationError):
+            run_precision_ablation(readout_bits=())
+
+
+class TestGSCommunicationBreakdown:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_gs_communication_breakdown()
+
+    def test_one_row_per_benchmark(self, result):
+        assert len(result.rows) == 11
+
+    def test_shares_sum_to_one(self, result):
+        for row in result.rows:
+            total = (
+                row["substrate_share"]
+                + row["host_compute_share"]
+                + row["communication_share"]
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_substrate_dominates(self, result):
+        for row in result.rows:
+            assert row["substrate_share"] > 0.5
+
+    def test_formatting(self, result):
+        assert "communication_of_host_wait" in format_ablation(result)

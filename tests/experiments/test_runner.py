@@ -1,0 +1,33 @@
+"""Tests for the run-everything experiment runner."""
+
+import io
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestRunner:
+    def test_runs_selected_cheap_experiments(self):
+        stream = io.StringIO()
+        names = runner.run_all(["table2", "table3"], stream=stream)
+        assert names == ["table2", "table3"]
+        output = stream.getvalue()
+        assert "table2" in output
+        assert "TIMELY" in output
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            runner.run_all(["figure99"])
+
+    def test_registry_covers_every_artifact(self):
+        registry = runner._registry("ci", 0)
+        assert set(registry) == {
+            "figure5", "figure6", "table2", "table3", "figure7",
+            "table4", "figure8", "figure9", "figure10", "figure11",
+        }
+
+    def test_main_with_args(self, capsys):
+        exit_code = runner.main(["--only", "table3"])
+        assert exit_code == 0
+        assert "TIMELY" in capsys.readouterr().out

@@ -1,0 +1,151 @@
+"""Tests for the Figure-5/6 performance and energy model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import PerformanceModel, WorkloadSpec, benchmark_workloads
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerformanceModel()
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return benchmark_workloads()
+
+
+@pytest.fixture(scope="module")
+def mnist_workload(workloads):
+    return next(w for w in workloads if w.name == "MNIST_RBM")
+
+
+class TestWorkloadSpec:
+    def test_benchmark_roster_matches_figure5(self, workloads):
+        names = [w.name for w in workloads]
+        assert len(names) == 11
+        assert names[0] == "MNIST_RBM"
+        assert names[-1] == "RC_RBM"
+        assert sum(1 for n in names if n.endswith("_DBN")) == 4
+
+    def test_dbn_workloads_have_multiple_layers(self, workloads):
+        mnist_dbn = next(w for w in workloads if w.name == "MNIST_DBN")
+        assert mnist_dbn.layers == ((784, 500), (500, 500), (500, 10))
+
+    def test_rbm_workloads_use_table1_shapes(self, workloads):
+        kmnist = next(w for w in workloads if w.name == "KMNIST_RBM")
+        assert kmnist.layers == ((784, 500),)
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValidationError):
+            WorkloadSpec(name="bad", layers=(), n_samples=10)
+        with pytest.raises(ValidationError):
+            WorkloadSpec(name="bad", layers=((10, 0),), n_samples=10)
+        with pytest.raises(ValidationError):
+            WorkloadSpec(name="bad", layers=((10, 10),), n_samples=0)
+
+    def test_largest_layer_nodes(self):
+        spec = WorkloadSpec(name="x", layers=((784, 200), (200, 1024)), n_samples=10)
+        assert spec.largest_layer_nodes == 1024
+
+
+class TestTimingModel:
+    def test_all_times_positive(self, model, workloads):
+        for workload in workloads:
+            timings = model.evaluate(workload)
+            for timing in timings.values():
+                assert timing.seconds > 0
+                assert timing.joules > 0
+
+    def test_bgf_is_fastest(self, model, workloads):
+        for workload in workloads:
+            timings = model.evaluate(workload)
+            assert timings["BGF"].seconds < timings["TPU"].seconds
+            assert timings["BGF"].seconds < timings["GS"].seconds
+            assert timings["BGF"].seconds < timings["GPU"].seconds
+
+    def test_gs_faster_than_tpu(self, model, workloads):
+        """The paper: GS achieves ~2x speedup over the TPU on every benchmark."""
+        for workload in workloads:
+            timings = model.evaluate(workload)
+            assert timings["GS"].seconds < timings["TPU"].seconds
+
+    def test_gpu_slower_than_tpu_on_average(self, model, workloads):
+        ratios = []
+        for workload in workloads:
+            timings = model.evaluate(workload)
+            ratios.append(timings["GPU"].seconds / timings["TPU"].seconds)
+        assert np.exp(np.mean(np.log(ratios))) > 1.0
+
+    def test_time_scales_with_samples(self, model, mnist_workload):
+        double = WorkloadSpec(
+            name="x", layers=mnist_workload.layers,
+            n_samples=2 * mnist_workload.n_samples, cd_k=mnist_workload.cd_k,
+        )
+        assert model.tpu_time(double) == pytest.approx(2 * model.tpu_time(mnist_workload), rel=0.01)
+        assert model.bgf_time(double) == pytest.approx(2 * model.bgf_time(mnist_workload), rel=0.05)
+
+    def test_time_scales_with_epochs(self, model, mnist_workload):
+        two_epochs = WorkloadSpec(
+            name="x", layers=mnist_workload.layers, n_samples=mnist_workload.n_samples,
+            cd_k=mnist_workload.cd_k, epochs=2,
+        )
+        assert model.gs_time(two_epochs) == pytest.approx(2 * model.gs_time(mnist_workload), rel=0.01)
+
+    def test_gs_breakdown_components(self, model, mnist_workload):
+        breakdown = model.gs_time_breakdown(mnist_workload)
+        assert set(breakdown) == {"substrate", "host_compute", "communication"}
+        assert all(value > 0 for value in breakdown.values())
+        # Communication is a minority, but non-negligible, share of host wait.
+        host_wait = breakdown["host_compute"] + breakdown["communication"]
+        assert 0.05 < breakdown["communication"] / host_wait < 0.7
+
+    def test_normalized_to(self, model, mnist_workload):
+        timings = model.evaluate(mnist_workload)
+        time_ratio, energy_ratio = timings["TPU"].normalized_to(timings["BGF"])
+        assert time_ratio > 1
+        assert energy_ratio > 1
+
+
+class TestFigure5Claims:
+    def test_geomean_speedup_about_29x(self, model):
+        rows = model.figure5_rows()
+        geomean = rows[-1]
+        assert geomean["workload"] == "GeoMean"
+        assert 20 <= geomean["TPU"] <= 45
+
+    def test_gs_speedup_over_tpu_about_2x(self, model):
+        geomean = model.figure5_rows()[-1]
+        assert 1.5 <= geomean["TPU"] / geomean["GS"] <= 4.0
+
+    def test_gpu_slowest_substrate(self, model):
+        geomean = model.figure5_rows()[-1]
+        assert geomean["GPU"] > geomean["TPU"]
+
+    def test_row_count_and_normalization(self, model):
+        rows = model.figure5_rows()
+        assert len(rows) == 12  # 11 workloads + geomean
+        for row in rows:
+            assert row["BGF"] == 1.0
+            assert row["TPU"] > 1.0
+
+    def test_custom_workload_list(self, model, mnist_workload):
+        rows = model.figure5_rows([mnist_workload])
+        assert len(rows) == 2
+
+
+class TestFigure6Claims:
+    def test_geomean_energy_saving_about_1000x(self, model):
+        geomean = model.figure6_rows()[-1]
+        assert 500 <= geomean["TPU"] <= 3000
+
+    def test_gs_energy_between_tpu_and_bgf(self, model):
+        geomean = model.figure6_rows()[-1]
+        assert 1.0 < geomean["GS"] < geomean["TPU"]
+
+    def test_energy_rows_normalized(self, model):
+        for row in model.figure6_rows():
+            assert row["BGF"] == 1.0
+            assert row["TPU"] > row["GS"]

@@ -1,0 +1,125 @@
+"""Sensitivity tests of the Figure-5/6 performance model.
+
+Beyond reproducing the headline numbers, the model should respond to its
+inputs the way the paper's qualitative discussion says it does: the TPU's
+disadvantage comes mostly from the element-wise sampling work, the GS's
+residual cost comes from the host/communication loop, and the BGF's
+advantage shrinks if the substrate's phase points were slower.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.hardware import PerformanceModel, WorkloadSpec, benchmark_workloads
+from repro.hardware.tpu import TPUModel
+
+
+@pytest.fixture(scope="module")
+def base_model():
+    return PerformanceModel()
+
+
+@pytest.fixture(scope="module")
+def mnist():
+    return next(w for w in benchmark_workloads() if w.name == "MNIST_RBM")
+
+
+def _geomean_tpu_ratio(model: PerformanceModel) -> float:
+    return model.figure5_rows()[-1]["TPU"]
+
+
+class TestTPUSensitivity:
+    def test_sampling_cost_dominates_tpu_time(self, base_model, mnist):
+        """Removing the element-wise sampling cost collapses most of the TPU's
+        disadvantage — the paper's motivation that "probability sampling may
+        be much more costly" than the MACs."""
+        cheap_sampling = dataclasses.replace(base_model, tpu_element_op_seconds=1e-12)
+        assert cheap_sampling.tpu_time(mnist) < 0.2 * base_model.tpu_time(mnist)
+
+    def test_element_op_cost_scales_headline_speedup(self, base_model):
+        slower_sampling = dataclasses.replace(base_model, tpu_element_op_seconds=0.8e-9)
+        assert _geomean_tpu_ratio(slower_sampling) > _geomean_tpu_ratio(base_model)
+
+    def test_bigger_mac_array_does_not_remove_the_gap(self, base_model, mnist):
+        """Even a 4x faster MAC array leaves the TPU an order of magnitude
+        behind the BGF, because sampling work does not ride the MAC array."""
+        beefier_tpu = dataclasses.replace(
+            base_model,
+            tpu=TPUModel(peak_tops=368.0, die_area_mm2=331.0, busy_power_w=40.0),
+        )
+        ratio = beefier_tpu.tpu_time(mnist) / beefier_tpu.bgf_time(mnist)
+        assert ratio > 10
+
+
+class TestGSSensitivity:
+    def test_faster_interface_reduces_gs_time(self, base_model, mnist):
+        fast_link = dataclasses.replace(base_model, interface_bytes_per_second=512e9)
+        assert fast_link.gs_time(mnist) < base_model.gs_time(mnist)
+
+    def test_larger_batch_amortizes_programming(self, base_model):
+        small_batch = benchmark_workloads(batch_size=50)[0]
+        large_batch = benchmark_workloads(batch_size=500)[0]
+        small_share = base_model.gs_time_breakdown(small_batch)
+        large_share = base_model.gs_time_breakdown(large_batch)
+        # Per-epoch communication falls when each programming covers more samples.
+        assert large_share["communication"] < small_share["communication"]
+
+    def test_settle_time_drives_gs_cost(self, base_model, mnist):
+        slow_settle = dataclasses.replace(base_model, gs_settle_seconds=500e-9)
+        assert slow_settle.gs_time(mnist) > 2 * base_model.gs_time(mnist)
+
+
+class TestBGFSensitivity:
+    def test_slower_phase_points_shrink_the_advantage(self, base_model):
+        sluggish = dataclasses.replace(base_model, brim_phase_point_seconds=120e-12)
+        assert _geomean_tpu_ratio(sluggish) < _geomean_tpu_ratio(base_model)
+
+    def test_deeper_cd_increases_bgf_time_proportionally(self, base_model):
+        shallow = benchmark_workloads(cd_k=1)[0]
+        deep = benchmark_workloads(cd_k=10)[0]
+        # The anneal trajectory scales with k (s = k*(m+n) phase points).
+        assert base_model.bgf_time(deep) > base_model.bgf_time(shallow)
+
+    def test_readout_is_negligible(self, base_model, mnist):
+        """The end-of-training ADC readout is a small fraction of training
+        time — the paper's justification for tolerating expensive ADCs
+        ("they are only used once at the end of the entire algorithm")."""
+        one_sample = WorkloadSpec(
+            name="single", layers=mnist.layers, n_samples=1, cd_k=mnist.cd_k
+        )
+        full = base_model.bgf_time(mnist)
+        nearly_readout_only = base_model.bgf_time(one_sample)
+        assert nearly_readout_only < 0.05 * full
+
+
+class TestEnergySensitivity:
+    def test_host_power_scales_tpu_energy(self, base_model, mnist):
+        low_power_host = dataclasses.replace(base_model, host_average_power_w=14.0)
+        assert low_power_host.tpu_energy(mnist) == pytest.approx(
+            base_model.tpu_energy(mnist) / 2, rel=0.01
+        )
+
+    def test_bgf_energy_tracks_array_power(self, base_model, mnist):
+        smaller_array = dataclasses.replace(base_model, accelerator_nodes=800)
+        assert smaller_array.bgf_energy(mnist) < base_model.bgf_energy(mnist)
+
+    def test_gs_energy_gap_to_bgf_comes_from_both_sides(self, base_model, mnist):
+        """The GS-vs-BGF energy gap in Fig. 6 has two ingredients: the GS keeps
+        its substrate busy for host-paced settles far longer than the BGF's
+        free-running trajectory, and the host itself burns a significant share
+        of the total while computing gradients and reprogramming."""
+        breakdown = base_model.gs_time_breakdown(mnist)
+        from repro.hardware.components import GIBBS_SAMPLER_LIBRARY
+
+        substrate_energy = GIBBS_SAMPLER_LIBRARY.total_power_w(
+            base_model.accelerator_nodes
+        ) * breakdown["substrate"]
+        host_energy = base_model.host_average_power_w * (
+            breakdown["host_compute"] + breakdown["communication"]
+        )
+        total = substrate_energy + host_energy
+        assert total == pytest.approx(base_model.gs_energy(mnist), rel=1e-6)
+        assert host_energy > 0.2 * total
+        assert base_model.gs_energy(mnist) > 5 * base_model.bgf_energy(mnist)

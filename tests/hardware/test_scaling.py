@@ -1,0 +1,142 @@
+"""Tests for the multi-chip scaling model."""
+
+import pytest
+
+from repro.hardware.scaling import (
+    ChipSpec,
+    MultiChipCost,
+    PartitionPlan,
+    multi_chip_sample_cost,
+    partition_rbm,
+    scaling_table,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestChipSpec:
+    def test_defaults(self):
+        chip = ChipSpec()
+        assert chip.array_nodes == 1600
+        assert chip.power_w > 0
+        assert chip.area_mm2 > 0
+
+    def test_power_and_area_come_from_component_model(self):
+        small = ChipSpec(array_nodes=400)
+        large = ChipSpec(array_nodes=1600)
+        assert large.power_w > small.power_w
+        assert large.area_mm2 > small.area_mm2
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValidationError):
+            ChipSpec(array_nodes=0)
+        with pytest.raises(ValidationError):
+            ChipSpec(link_bandwidth_bits_per_s=0.0)
+        with pytest.raises(ValidationError):
+            ChipSpec(partial_sum_bits=0)
+
+
+class TestPartitioning:
+    def test_fits_single_chip(self):
+        plan = partition_rbm(784, 200, ChipSpec(array_nodes=1600))
+        assert plan.n_chips == 1
+        assert not plan.needs_reduction
+
+    def test_splits_across_visible_dimension(self):
+        plan = partition_rbm(784, 200, ChipSpec(array_nodes=400))
+        assert plan.visible_tiles == 2
+        assert plan.hidden_tiles == 1
+        assert plan.n_chips == 2
+        assert plan.needs_reduction
+
+    def test_splits_both_dimensions(self):
+        plan = partition_rbm(1000, 1000, ChipSpec(array_nodes=400))
+        assert plan.visible_tiles == 3
+        assert plan.hidden_tiles == 3
+        assert plan.n_chips == 9
+
+    def test_utilization(self):
+        plan = partition_rbm(400, 400, ChipSpec(array_nodes=400))
+        assert plan.coupling_utilization == pytest.approx(1.0)
+        half = partition_rbm(400, 200, ChipSpec(array_nodes=400))
+        assert half.coupling_utilization == pytest.approx(0.5)
+
+    def test_utilization_never_exceeds_one(self):
+        for dims in ((784, 1024), (943, 100), (28, 10)):
+            plan = partition_rbm(*dims, ChipSpec(array_nodes=800))
+            assert 0.0 < plan.coupling_utilization <= 1.0
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValidationError):
+            partition_rbm(0, 10, ChipSpec())
+
+
+class TestMultiChipCost:
+    def test_single_chip_has_no_overhead(self):
+        plan = partition_rbm(784, 200, ChipSpec(array_nodes=1600))
+        cost = multi_chip_sample_cost(plan)
+        assert cost.reduction_seconds == 0.0
+        assert cost.reduction_joules == 0.0
+        assert cost.time_overhead_fraction == 0.0
+
+    def test_partitioned_layer_pays_reduction_cost(self):
+        plan = partition_rbm(784, 1024, ChipSpec(array_nodes=400))
+        cost = multi_chip_sample_cost(plan)
+        assert cost.reduction_seconds > 0.0
+        assert cost.reduction_joules > 0.0
+        assert cost.sample_seconds > cost.single_chip_sample_seconds
+
+    def test_overhead_grows_with_visible_tiles(self):
+        chip = ChipSpec(array_nodes=400)
+        two_tiles = multi_chip_sample_cost(partition_rbm(784, 400, chip))
+        three_tiles = multi_chip_sample_cost(partition_rbm(1200, 400, chip))
+        assert three_tiles.reduction_seconds > two_tiles.reduction_seconds
+
+    def test_faster_link_reduces_overhead(self):
+        slow = ChipSpec(array_nodes=400, link_bandwidth_bits_per_s=64e9)
+        fast = ChipSpec(array_nodes=400, link_bandwidth_bits_per_s=512e9)
+        slow_cost = multi_chip_sample_cost(partition_rbm(784, 400, slow))
+        fast_cost = multi_chip_sample_cost(partition_rbm(784, 400, fast))
+        assert fast_cost.reduction_seconds < slow_cost.reduction_seconds
+
+    def test_total_power_scales_with_chip_count(self):
+        chip = ChipSpec(array_nodes=400)
+        one = multi_chip_sample_cost(partition_rbm(400, 400, chip))
+        four = multi_chip_sample_cost(partition_rbm(800, 800, chip))
+        assert four.total_power_w == pytest.approx(4 * one.total_power_w)
+
+    def test_invalid_sample_time(self):
+        plan = partition_rbm(400, 400, ChipSpec(array_nodes=400))
+        with pytest.raises(ValidationError):
+            multi_chip_sample_cost(plan, single_chip_sample_seconds=0.0)
+
+
+class TestScalingTable:
+    def test_covers_all_benchmarks_and_sizes(self):
+        rows = scaling_table()
+        assert len(rows) == len(scaling_table(benchmarks=None))
+        assert len(rows) == 8 * 3
+
+    def test_largest_chip_fits_every_benchmark(self):
+        """The paper's assumption: a 1600-node array fits all Table-1 problems."""
+        for row in scaling_table(chip_sizes=(1600,)):
+            assert row["n_chips"] == 1
+            assert row["time_overhead_fraction"] == 0.0
+
+    def test_small_chips_need_tiling_for_large_benchmarks(self):
+        rows = {r["benchmark"]: r for r in scaling_table(chip_sizes=(400,))}
+        assert rows["emnist"]["n_chips"] > 1
+        assert rows["anomaly"]["n_chips"] == 1
+
+    def test_overhead_is_modest(self):
+        """Multi-chip reduction adds only a bounded fraction of per-sample time
+        for Table-1 problems — the discussion's claim that scaling out is feasible."""
+        for row in scaling_table(chip_sizes=(400, 800)):
+            assert row["time_overhead_fraction"] < 1.0
+
+    def test_subset_of_benchmarks(self):
+        rows = scaling_table(chip_sizes=(800,), benchmarks=("mnist", "emnist"))
+        assert {r["benchmark"] for r in rows} == {"mnist", "emnist"}
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            scaling_table(chip_sizes=())

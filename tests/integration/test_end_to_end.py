@@ -1,0 +1,159 @@
+"""End-to-end integration tests across subsystems.
+
+Each test exercises a full pipeline the way a downstream user (or the
+paper's evaluation) would: data generation -> training on a chosen
+substrate -> evaluation metric.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BGFTrainer, GibbsSamplerTrainer
+from repro.datasets import load_benchmark_dataset, load_smallnorb_like
+from repro.eval import LogisticRegressionClassifier, RBMAnomalyDetector, RBMRecommender
+from repro.ising import BRIMConfig, BRIMSimulator, IsingModel, SimulatedAnnealingSolver
+from repro.rbm import (
+    BernoulliRBM,
+    CDTrainer,
+    ConvolutionalRBM,
+    DeepBeliefNetwork,
+    average_log_probability,
+)
+
+
+@pytest.fixture(scope="module")
+def image_data():
+    return load_benchmark_dataset("mnist", scale="ci", seed=0).binarized()
+
+
+class TestImageClassificationPipelines:
+    def _feature_accuracy(self, rbm, data, seed=0):
+        train_f = rbm.transform(data.train_x)
+        test_f = rbm.transform(data.test_x)
+        mean, std = train_f.mean(axis=0), train_f.std(axis=0) + 1e-6
+        clf = LogisticRegressionClassifier(rbm.n_hidden, data.n_classes, rng=seed)
+        clf.fit((train_f - mean) / std, data.train_y, epochs=60, learning_rate=0.2)
+        return clf.score((test_f - mean) / std, data.test_y)
+
+    def test_cd_and_bgf_features_both_classify_well(self, image_data):
+        """The Table-4 comparison, end to end, on one CI-scale benchmark."""
+        base = BernoulliRBM(image_data.n_features, 32, rng=0)
+        base.init_visible_bias_from_data(image_data.train_x)
+
+        cd_rbm = base.copy()
+        CDTrainer(0.2, cd_k=10, batch_size=10, rng=1).train(cd_rbm, image_data.train_x, epochs=15)
+        cd_accuracy = self._feature_accuracy(cd_rbm, image_data)
+
+        bgf_rbm = base.copy()
+        BGFTrainer(0.2, reference_batch_size=10, rng=1).train(bgf_rbm, image_data.train_x, epochs=15)
+        bgf_accuracy = self._feature_accuracy(bgf_rbm, image_data)
+
+        assert cd_accuracy > 0.5
+        assert bgf_accuracy > 0.5
+        assert abs(cd_accuracy - bgf_accuracy) < 0.2
+
+    def test_gs_trainer_in_dbn_pipeline(self, image_data):
+        """The GS accelerator slots into DBN greedy pre-training unchanged."""
+        dbn = DeepBeliefNetwork((image_data.n_features, 24, 16, image_data.n_classes), rng=0)
+
+        def layer_trainer(rbm, layer_data):
+            return GibbsSamplerTrainer(0.2, cd_k=1, batch_size=10, rng=2).train(
+                rbm, layer_data, epochs=5
+            )
+
+        dbn.pretrain(image_data.train_x, layer_trainer=layer_trainer)
+        dbn.fine_tune(image_data.train_x, image_data.train_y, epochs=80, learning_rate=0.2)
+        assert dbn.score(image_data.test_x, image_data.test_y) > 2.0 / image_data.n_classes
+
+    def test_conv_rbm_frontend_pipeline(self):
+        """The CIFAR10/SmallNORB path: conv-RBM features -> dense RBM -> classifier."""
+        data = load_smallnorb_like(scale=0.1, seed=0)
+        conv = ConvolutionalRBM(data.image_shape, n_filters=6, filter_size=3, rng=0)
+        conv.train(data.train_x, epochs=2, patches_per_image=10, rng=1)
+        features_train = conv.transform(data.train_x)
+        features_test = conv.transform(data.test_x)
+
+        rbm = BernoulliRBM(features_train.shape[1], 16, rng=2)
+        CDTrainer(0.2, cd_k=1, batch_size=10, rng=3).train(rbm, features_train, epochs=10)
+        clf = LogisticRegressionClassifier(16, data.n_classes, rng=4)
+        train_f = rbm.transform(features_train)
+        test_f = rbm.transform(features_test)
+        mean, std = train_f.mean(axis=0), train_f.std(axis=0) + 1e-6
+        clf.fit((train_f - mean) / std, data.train_y, epochs=80, learning_rate=0.2)
+        accuracy = clf.score((test_f - mean) / std, data.test_y)
+        assert accuracy > 1.5 / data.n_classes
+
+
+class TestRecommenderAndAnomalyPipelines:
+    def test_recommender_end_to_end_with_bgf(self):
+        ratings = load_benchmark_dataset("recommender", scale="ci", seed=0)
+        trainer = BGFTrainer(0.2, reference_batch_size=10, rng=0)
+        recommender = RBMRecommender(n_hidden=24, trainer=trainer, epochs=25, rng=1).fit(ratings)
+        assert recommender.evaluate_mae(ratings) < recommender.baseline_mae(ratings) * 1.05
+
+    def test_anomaly_end_to_end_with_gs(self):
+        dataset = load_benchmark_dataset("anomaly", scale="ci", seed=0)
+        trainer = GibbsSamplerTrainer(0.05, cd_k=1, batch_size=20, rng=0)
+        detector = RBMAnomalyDetector(n_hidden=10, trainer=trainer, epochs=15, rng=1).fit(dataset)
+        assert detector.evaluate_auc(dataset) > 0.85
+
+
+class TestIsingSubstratePipeline:
+    def test_rbm_inference_on_ising_machine(self):
+        """Sec. 2.3: inference (finding a low-energy completion) maps directly
+        onto the Ising machine.  Train an RBM in software, map it to an Ising
+        model, and check that annealing finds states with low RBM energy."""
+        rng = np.random.default_rng(0)
+        prototypes = (rng.random((3, 10)) < 0.5).astype(float)
+        data = prototypes[rng.integers(0, 3, 80)]
+        rbm = BernoulliRBM(10, 4, rng=1)
+        CDTrainer(0.3, cd_k=1, batch_size=10, rng=2).train(rbm, data, epochs=30)
+
+        model, offset = IsingModel.from_rbm(rbm)
+        result = SimulatedAnnealingSolver(n_sweeps=300, rng=3).solve(model)
+        spins = result.spins
+        v = (spins[:10] + 1) / 2
+        h = (spins[10:] + 1) / 2
+        found_energy = float(rbm.energy(v, h)[0])
+
+        random_energies = [
+            float(rbm.energy((rng.random(10) < 0.5).astype(float), (rng.random(4) < 0.5).astype(float))[0])
+            for _ in range(50)
+        ]
+        assert found_energy < np.mean(random_energies)
+
+    def test_brim_and_annealer_agree_on_rbm_energy_landscape(self):
+        """Best-of-a-few BRIM anneals (the standard way such machines are run)
+        reaches an energy comparable to simulated annealing on the same
+        RBM-mapped landscape."""
+        rbm = BernoulliRBM(8, 4, rng=0)
+        rng = np.random.default_rng(1)
+        rbm.set_parameters(rng.normal(0, 1.0, (8, 4)), rng.normal(0, 0.5, 8), rng.normal(0, 0.5, 4))
+        model, _ = IsingModel.from_rbm(rbm)
+        sa = SimulatedAnnealingSolver(n_sweeps=300, rng=2).solve(model)
+        config = BRIMConfig(n_steps=5000, feedback_gain=0.3, flip_probability_scale=0.005)
+        brim_energy = min(
+            BRIMSimulator(config, rng=seed).run(model).energy for seed in range(3)
+        )
+        assert brim_energy <= sa.energy + 0.25 * abs(sa.energy)
+
+
+class TestQualityMetricsAcrossTrainers:
+    def test_all_three_trainers_raise_log_probability(self, image_data):
+        """CD (software), GS (hardware sampling) and BGF (hardware training)
+        all raise the paper's quality metric on the same data."""
+        data = image_data.train_x[:150]
+        base = BernoulliRBM(image_data.n_features, 24, rng=0)
+        base.init_visible_bias_from_data(data)
+        initial = average_log_probability(base, data, n_chains=20, n_betas=60, rng=0)
+
+        trainers = {
+            "cd": CDTrainer(0.2, cd_k=1, batch_size=10, rng=1),
+            "gs": GibbsSamplerTrainer(0.2, cd_k=1, batch_size=10, rng=1),
+            "bgf": BGFTrainer(0.2, reference_batch_size=10, rng=1),
+        }
+        for name, trainer in trainers.items():
+            rbm = base.copy()
+            trainer.train(rbm, data, epochs=10)
+            final = average_log_probability(rbm, data, n_chains=20, n_betas=60, rng=0)
+            assert final > initial + 0.3, name

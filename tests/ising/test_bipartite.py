@@ -1,0 +1,181 @@
+"""Tests for the bipartite (RBM-shaped) Ising substrate."""
+
+import numpy as np
+import pytest
+
+from repro.analog.noise import NoiseConfig
+from repro.ising import BipartiteIsingSubstrate
+from repro.rbm import BernoulliRBM
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def programmed_substrate():
+    """A 12x6 substrate programmed with a random RBM's parameters."""
+    rbm = BernoulliRBM(12, 6, rng=0)
+    rng = np.random.default_rng(1)
+    rbm.set_parameters(rng.normal(0, 0.5, (12, 6)), rng.normal(0, 0.3, 12), rng.normal(0, 0.3, 6))
+    substrate = BipartiteIsingSubstrate(12, 6, rng=2, input_bits=None)
+    substrate.program(rbm.weights, rbm.visible_bias, rbm.hidden_bias)
+    return substrate, rbm
+
+
+class TestConstruction:
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValidationError):
+            BipartiteIsingSubstrate(0, 5)
+
+    def test_coupling_unit_savings(self):
+        """Fig. 3's point: the bipartite layout needs ~6x fewer coupling units
+        than an all-to-all substrate for the 784x200 MNIST RBM."""
+        bipartite = 784 * 200
+        all_to_all = BipartiteIsingSubstrate.all_to_all_coupling_units(784, 200)
+        assert all_to_all / bipartite == pytest.approx(6.17, abs=0.1)
+
+    def test_n_coupling_units(self):
+        substrate = BipartiteIsingSubstrate(10, 4, rng=0)
+        assert substrate.n_coupling_units == 40
+
+
+class TestProgramming:
+    def test_program_and_read_back(self, programmed_substrate):
+        substrate, rbm = programmed_substrate
+        weights, bv, bh = substrate.read_parameters()
+        np.testing.assert_array_equal(weights, rbm.weights)
+        np.testing.assert_array_equal(bv, rbm.visible_bias)
+        np.testing.assert_array_equal(bh, rbm.hidden_bias)
+
+    def test_program_shape_check(self):
+        substrate = BipartiteIsingSubstrate(5, 3, rng=0)
+        with pytest.raises(ValidationError):
+            substrate.program(np.zeros((3, 5)), np.zeros(5), np.zeros(3))
+
+    def test_read_parameters_returns_copies(self, programmed_substrate):
+        substrate, _ = programmed_substrate
+        weights, _, _ = substrate.read_parameters()
+        weights[0, 0] += 99.0
+        assert substrate.weights[0, 0] != weights[0, 0]
+
+
+class TestClamping:
+    def test_clamp_without_dtc_passthrough(self):
+        substrate = BipartiteIsingSubstrate(4, 2, rng=0, input_bits=None)
+        values = np.array([0.1, 0.5, 0.9, 0.3])
+        np.testing.assert_array_equal(substrate.clamp_visible(values), values)
+
+    def test_clamp_with_dtc_quantizes(self):
+        substrate = BipartiteIsingSubstrate(4, 2, rng=0, input_bits=2)
+        values = np.array([[0.1, 0.5, 0.9, 0.3]])
+        clamped = substrate.clamp_visible(values)
+        # 2-bit DTC: only 4 levels {0, 1/3, 2/3, 1}
+        levels = {0.0, 1 / 3, 2 / 3, 1.0}
+        assert all(any(abs(v - level) < 1e-9 for level in levels) for v in clamped.ravel())
+
+    def test_clamp_wrong_width(self):
+        substrate = BipartiteIsingSubstrate(4, 2, rng=0)
+        with pytest.raises(ValidationError):
+            substrate.clamp_visible(np.zeros(5))
+
+
+class TestConditionalSampling:
+    def test_ideal_substrate_matches_rbm_probabilities(self, programmed_substrate):
+        """With no noise and unit sigmoid gain the substrate's conditional
+        probabilities equal the software RBM's (Eq. 4/5)."""
+        substrate, rbm = programmed_substrate
+        v = (np.random.default_rng(3).random((5, 12)) < 0.5).astype(float)
+        np.testing.assert_allclose(
+            substrate.hidden_probability(v), rbm.hidden_activation_probability(v), atol=1e-9
+        )
+        h = (np.random.default_rng(4).random((5, 6)) < 0.5).astype(float)
+        np.testing.assert_allclose(
+            substrate.visible_probability(h), rbm.visible_activation_probability(h), atol=1e-9
+        )
+
+    def test_samples_are_binary(self, programmed_substrate):
+        substrate, _ = programmed_substrate
+        v = (np.random.default_rng(5).random((10, 12)) < 0.5).astype(float)
+        h = substrate.sample_hidden_given_visible(v)
+        assert set(np.unique(h)).issubset({0.0, 1.0})
+        v2 = substrate.sample_visible_given_hidden(h)
+        assert set(np.unique(v2)).issubset({0.0, 1.0})
+
+    def test_sample_statistics_match_probabilities(self, programmed_substrate):
+        """Across many repeated latches the empirical hidden mean matches P(h|v)."""
+        substrate, rbm = programmed_substrate
+        v = np.tile((np.random.default_rng(6).random(12) < 0.5).astype(float), (3000, 1))
+        samples = substrate.sample_hidden_given_visible(v)
+        expected = rbm.hidden_activation_probability(v[:1])[0]
+        np.testing.assert_allclose(samples.mean(axis=0), expected, atol=0.05)
+
+    def test_hidden_init_must_be_binary(self, programmed_substrate):
+        substrate, _ = programmed_substrate
+        with pytest.raises(ValidationError):
+            substrate.sample_visible_given_hidden(np.full((1, 6), 0.5))
+
+    def test_gibbs_chain_shapes(self, programmed_substrate):
+        substrate, _ = programmed_substrate
+        h0 = (np.random.default_rng(7).random((4, 6)) < 0.5).astype(float)
+        v, h = substrate.gibbs_chain(h0, 3)
+        assert v.shape == (4, 12)
+        assert h.shape == (4, 6)
+
+    def test_gibbs_chain_invalid_steps(self, programmed_substrate):
+        substrate, _ = programmed_substrate
+        with pytest.raises(ValidationError):
+            substrate.gibbs_chain(np.zeros((1, 6)), 0)
+
+    def test_reconstruct_range(self, programmed_substrate):
+        substrate, _ = programmed_substrate
+        v = (np.random.default_rng(8).random((5, 12)) < 0.5).astype(float)
+        recon = substrate.reconstruct(v)
+        assert recon.shape == (5, 12)
+        assert recon.min() >= 0.0 and recon.max() <= 1.0
+
+
+class TestNoiseInjection:
+    def test_static_variation_changes_effective_probabilities(self):
+        rbm = BernoulliRBM(10, 5, rng=0)
+        rng = np.random.default_rng(1)
+        rbm.set_parameters(rng.normal(0, 1, (10, 5)), np.zeros(10), np.zeros(5))
+        ideal = BipartiteIsingSubstrate(10, 5, rng=3, input_bits=None)
+        noisy = BipartiteIsingSubstrate(
+            10, 5, rng=3, input_bits=None, noise_config=NoiseConfig(0.3, 0.0)
+        )
+        for sub in (ideal, noisy):
+            sub.program(rbm.weights, rbm.visible_bias, rbm.hidden_bias)
+        v = (np.random.default_rng(4).random((5, 10)) < 0.5).astype(float)
+        assert not np.allclose(ideal.hidden_probability(v), noisy.hidden_probability(v))
+
+    def test_dynamic_noise_varies_between_calls(self):
+        rbm = BernoulliRBM(10, 5, rng=0)
+        substrate = BipartiteIsingSubstrate(
+            10, 5, rng=3, input_bits=None, noise_config=NoiseConfig(0.0, 0.2)
+        )
+        substrate.program(rbm.weights, rbm.visible_bias, rbm.hidden_bias)
+        v = np.ones((2, 10))
+        a = substrate.hidden_probability(v)
+        b = substrate.hidden_probability(v)
+        assert not np.allclose(a, b)
+
+    def test_ideal_substrate_is_deterministic_in_probabilities(self, programmed_substrate):
+        substrate, _ = programmed_substrate
+        v = np.ones((2, 12))
+        np.testing.assert_array_equal(
+            substrate.hidden_probability(v), substrate.hidden_probability(v)
+        )
+
+    def test_moderate_noise_preserves_probability_ordering(self):
+        """Sec 4.5's qualitative claim: moderate analog noise perturbs but does
+        not scramble the conditional probabilities."""
+        rbm = BernoulliRBM(12, 6, rng=0)
+        rng = np.random.default_rng(1)
+        rbm.set_parameters(rng.normal(0, 1.0, (12, 6)), np.zeros(12), np.zeros(6))
+        noisy = BipartiteIsingSubstrate(
+            12, 6, rng=5, input_bits=None, noise_config=NoiseConfig(0.1, 0.1)
+        )
+        noisy.program(rbm.weights, rbm.visible_bias, rbm.hidden_bias)
+        v = (np.random.default_rng(6).random((200, 12)) < 0.5).astype(float)
+        ideal_p = rbm.hidden_activation_probability(v).ravel()
+        noisy_p = noisy.hidden_probability(v).ravel()
+        correlation = np.corrcoef(ideal_p, noisy_p)[0, 1]
+        assert correlation > 0.9

@@ -1,0 +1,173 @@
+"""Tests for the IsingModel container and its conversions."""
+
+import numpy as np
+import pytest
+
+from repro.ising import IsingModel
+from repro.rbm import BernoulliRBM
+from repro.utils.validation import ValidationError
+
+
+def _random_model(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    couplings = np.triu(rng.normal(0, 1, (n, n)), k=1)
+    fields = rng.normal(0, 0.5, n)
+    return IsingModel(couplings, fields)
+
+
+class TestConstruction:
+    def test_upper_triangular_input_symmetrized(self):
+        j = np.array([[0.0, 2.0], [0.0, 0.0]])
+        model = IsingModel(j)
+        np.testing.assert_array_equal(model.couplings, [[0.0, 2.0], [2.0, 0.0]])
+
+    def test_lower_triangular_input_symmetrized(self):
+        j = np.array([[0.0, 0.0], [3.0, 0.0]])
+        model = IsingModel(j)
+        np.testing.assert_array_equal(model.couplings, [[0.0, 3.0], [3.0, 0.0]])
+
+    def test_symmetric_input_preserved(self):
+        j = np.array([[0.0, 1.5], [1.5, 0.0]])
+        model = IsingModel(j)
+        np.testing.assert_array_equal(model.couplings, j)
+
+    def test_diagonal_removed(self):
+        j = np.array([[5.0, 1.0], [1.0, 7.0]])
+        model = IsingModel(j)
+        assert model.couplings[0, 0] == 0.0
+        assert model.couplings[1, 1] == 0.0
+
+    def test_default_fields_are_zero(self):
+        model = IsingModel(np.zeros((3, 3)))
+        np.testing.assert_array_equal(model.fields, np.zeros(3))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValidationError):
+            IsingModel(np.zeros((2, 3)))
+
+    def test_field_shape_checked(self):
+        with pytest.raises(ValidationError):
+            IsingModel(np.zeros((3, 3)), np.zeros(4))
+
+
+class TestEnergy:
+    def test_two_spin_ferromagnet(self):
+        """For J>0 aligned spins have lower energy (Eq. 1)."""
+        model = IsingModel(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        aligned = model.energy(np.array([1.0, 1.0]))[0]
+        opposed = model.energy(np.array([1.0, -1.0]))[0]
+        assert aligned == pytest.approx(-1.0)
+        assert opposed == pytest.approx(1.0)
+        assert aligned < opposed
+
+    def test_field_term(self):
+        model = IsingModel(np.zeros((2, 2)), np.array([2.0, -1.0]))
+        assert model.energy(np.array([1.0, 1.0]))[0] == pytest.approx(-1.0)
+
+    def test_energy_matches_pairwise_sum(self):
+        model = _random_model(6, seed=1)
+        rng = np.random.default_rng(2)
+        spins = rng.choice([-1.0, 1.0], size=6)
+        expected = 0.0
+        for i in range(6):
+            for j in range(i + 1, 6):
+                expected -= model.couplings[i, j] * spins[i] * spins[j]
+        expected -= float(model.fields @ spins)
+        assert model.energy(spins)[0] == pytest.approx(expected)
+
+    def test_batched_energy(self):
+        model = _random_model(5, seed=3)
+        rng = np.random.default_rng(4)
+        spins = rng.choice([-1.0, 1.0], size=(7, 5))
+        energies = model.energy(spins)
+        assert energies.shape == (7,)
+
+    def test_wrong_length_rejected(self):
+        model = _random_model(5)
+        with pytest.raises(ValidationError):
+            model.energy(np.ones(4))
+
+
+class TestLocalFieldAndFlips:
+    def test_energy_delta_matches_direct_difference(self):
+        model = _random_model(7, seed=5)
+        rng = np.random.default_rng(6)
+        spins = rng.choice([-1.0, 1.0], size=7)
+        for index in range(7):
+            flipped = spins.copy()
+            flipped[index] = -flipped[index]
+            direct = model.energy(flipped)[0] - model.energy(spins)[0]
+            assert model.energy_delta_flip(spins, index) == pytest.approx(direct)
+
+    def test_local_field_definition(self):
+        model = _random_model(6, seed=7)
+        spins = np.ones(6)
+        np.testing.assert_allclose(
+            model.local_field(spins), model.couplings.sum(axis=0) + model.fields
+        )
+
+    def test_flip_index_bounds(self):
+        model = _random_model(4)
+        with pytest.raises(ValidationError):
+            model.energy_delta_flip(np.ones(4), 4)
+
+
+class TestQUBOConversion:
+    def test_qubo_equivalence_on_all_states(self):
+        """b'Qb must equal H(sigma) + offset for every bit vector."""
+        rng = np.random.default_rng(8)
+        q = rng.normal(0, 1, (5, 5))
+        model, offset = IsingModel.from_qubo(q)
+        q_sym = (q + q.T) / 2.0
+        for index in range(32):
+            bits = np.array([(index >> k) & 1 for k in range(5)], dtype=float)
+            sigma = 2 * bits - 1
+            qubo_value = float(bits @ q_sym @ bits)
+            ising_value = float(model.energy(sigma)[0]) + offset
+            assert qubo_value == pytest.approx(ising_value, abs=1e-9)
+
+    def test_non_square_qubo_rejected(self):
+        with pytest.raises(ValidationError):
+            IsingModel.from_qubo(np.zeros((2, 3)))
+
+
+class TestRBMConversion:
+    def test_rbm_energy_equivalence(self):
+        """E_RBM(v,h) == H(sigma) + offset for every (v, h) configuration."""
+        rbm = BernoulliRBM(4, 3, rng=0)
+        rng = np.random.default_rng(1)
+        rbm.set_parameters(rng.normal(0, 1, (4, 3)), rng.normal(0, 0.5, 4), rng.normal(0, 0.5, 3))
+        model, offset = IsingModel.from_rbm(rbm)
+        assert model.n_spins == 7
+        for vi in range(16):
+            v = np.array([(vi >> k) & 1 for k in range(4)], dtype=float)
+            for hi in range(8):
+                h = np.array([(hi >> k) & 1 for k in range(3)], dtype=float)
+                sigma = 2 * np.concatenate([v, h]) - 1
+                rbm_energy = float(rbm.energy(v, h)[0])
+                ising_energy = float(model.energy(sigma)[0]) + offset
+                assert rbm_energy == pytest.approx(ising_energy, abs=1e-9)
+
+    def test_bipartite_structure(self):
+        """Couplings exist only between the visible and hidden blocks."""
+        rbm = BernoulliRBM(4, 3, rng=2)
+        model, _ = IsingModel.from_rbm(rbm)
+        visible_block = model.couplings[:4, :4]
+        hidden_block = model.couplings[4:, 4:]
+        np.testing.assert_allclose(visible_block, 0.0, atol=1e-12)
+        np.testing.assert_allclose(hidden_block, 0.0, atol=1e-12)
+        assert np.abs(model.couplings[:4, 4:]).sum() > 0
+
+
+class TestGroundState:
+    def test_matches_enumeration(self):
+        model = _random_model(8, seed=9)
+        spins, energy = model.ground_state_brute_force()
+        # verify it is indeed minimal by checking single-flip neighbours
+        for index in range(8):
+            assert model.energy_delta_flip(spins, index) >= -1e-9
+        assert model.energy(spins)[0] == pytest.approx(energy)
+
+    def test_guard_for_large_systems(self):
+        with pytest.raises(ValidationError):
+            IsingModel(np.zeros((25, 25))).ground_state_brute_force()

@@ -1,0 +1,198 @@
+"""Tests for annealing schedules, simulated annealing, and the BRIM simulator."""
+
+import numpy as np
+import pytest
+
+from repro.ising import (
+    AnnealResult,
+    BRIMConfig,
+    BRIMSimulator,
+    ConstantSchedule,
+    GeometricSchedule,
+    IsingModel,
+    LinearSchedule,
+    SimulatedAnnealingSolver,
+)
+from repro.utils.validation import ValidationError
+
+
+def _random_model(n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return IsingModel(np.triu(rng.normal(0, 1, (n, n)), 1), rng.normal(0, 0.5, n))
+
+
+class TestSchedules:
+    def test_linear_endpoints(self):
+        schedule = LinearSchedule(2.0, 0.5)
+        assert schedule(0.0) == pytest.approx(2.0)
+        assert schedule(1.0) == pytest.approx(0.5)
+        assert schedule(0.5) == pytest.approx(1.25)
+
+    def test_geometric_endpoints_and_monotonicity(self):
+        schedule = GeometricSchedule(4.0, 0.25)
+        assert schedule(0.0) == pytest.approx(4.0)
+        assert schedule(1.0) == pytest.approx(0.25)
+        values = schedule.discretize(20)
+        assert np.all(np.diff(values) < 0)
+
+    def test_geometric_requires_positive(self):
+        with pytest.raises(ValidationError):
+            GeometricSchedule(1.0, 0.0)
+
+    def test_constant(self):
+        schedule = ConstantSchedule(0.7)
+        assert schedule(0.0) == schedule(1.0) == pytest.approx(0.7)
+
+    def test_progress_bounds_enforced(self):
+        with pytest.raises(ValidationError):
+            LinearSchedule()(1.5)
+
+    def test_discretize_length(self):
+        assert LinearSchedule().discretize(7).shape == (7,)
+        assert LinearSchedule().discretize(1).shape == (1,)
+
+    def test_discretize_invalid(self):
+        with pytest.raises(ValidationError):
+            LinearSchedule().discretize(0)
+
+
+class TestSimulatedAnnealing:
+    def test_finds_ground_state_of_small_problem(self):
+        model = _random_model(10, seed=1)
+        _, exact_energy = model.ground_state_brute_force()
+        result = SimulatedAnnealingSolver(n_sweeps=400, rng=0).solve(model)
+        assert result.energy <= exact_energy + 1e-9 or result.energy == pytest.approx(exact_energy)
+
+    def test_result_energy_matches_spins(self):
+        model = _random_model(12, seed=2)
+        result = SimulatedAnnealingSolver(n_sweeps=100, rng=1).solve(model)
+        assert model.energy(result.spins)[0] <= result.energy + 1e-9
+
+    def test_spins_are_valid(self):
+        model = _random_model(8, seed=3)
+        result = SimulatedAnnealingSolver(n_sweeps=50, rng=2).solve(model)
+        assert set(np.unique(result.spins)).issubset({-1.0, 1.0})
+
+    def test_energy_trace_length(self):
+        model = _random_model(6, seed=4)
+        result = SimulatedAnnealingSolver(n_sweeps=30, rng=3).solve(model)
+        assert result.energy_trace.shape == (30,)
+        assert result.n_sweeps == 30
+
+    def test_acceptance_rate_bounds(self):
+        model = _random_model(6, seed=5)
+        result = SimulatedAnnealingSolver(n_sweeps=50, rng=4).solve(model)
+        assert 0.0 <= result.acceptance_rate <= 1.0
+
+    def test_initial_spins_respected(self):
+        model = _random_model(6, seed=6)
+        initial = np.ones(6)
+        solver = SimulatedAnnealingSolver(n_sweeps=1, schedule=ConstantSchedule(1e-9), rng=5)
+        result = solver.solve(model, initial_spins=initial)
+        assert isinstance(result, AnnealResult)
+
+    def test_invalid_initial_spins(self):
+        model = _random_model(6, seed=7)
+        solver = SimulatedAnnealingSolver(n_sweeps=5, rng=0)
+        with pytest.raises(ValidationError):
+            solver.solve(model, initial_spins=np.zeros(6))
+        with pytest.raises(ValidationError):
+            solver.solve(model, initial_spins=np.ones(5))
+
+    def test_invalid_sweeps(self):
+        with pytest.raises(ValidationError):
+            SimulatedAnnealingSolver(n_sweeps=0)
+
+    def test_deterministic_given_seed(self):
+        model = _random_model(8, seed=8)
+        a = SimulatedAnnealingSolver(n_sweeps=40, rng=9).solve(model)
+        b = SimulatedAnnealingSolver(n_sweeps=40, rng=9).solve(model)
+        assert a.energy == b.energy
+        np.testing.assert_array_equal(a.spins, b.spins)
+
+
+class TestBRIMConfig:
+    def test_defaults_valid(self):
+        config = BRIMConfig()
+        assert config.n_steps > 0
+
+    def test_energy_per_flip_order_of_magnitude(self):
+        """Sec 4.3: ~50 fF at ~1 V gives on the order of 100 fJ per flip."""
+        config = BRIMConfig()
+        assert 10e-15 < config.energy_per_flip_joules < 1e-12
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            BRIMConfig(dt=0.0)
+        with pytest.raises(ValidationError):
+            BRIMConfig(n_steps=0)
+        with pytest.raises(ValidationError):
+            BRIMConfig(feedback_gain=-1.0)
+
+
+class TestBRIMSimulator:
+    def test_voltages_stay_bounded(self):
+        model = _random_model(10, seed=10)
+        result = BRIMSimulator(BRIMConfig(n_steps=500), rng=0).run(model)
+        assert np.all(np.abs(result.voltages) <= 1.0 + 1e-9)
+
+    def test_spins_are_valid(self):
+        model = _random_model(10, seed=11)
+        result = BRIMSimulator(BRIMConfig(n_steps=500), rng=1).run(model)
+        assert set(np.unique(result.spins)).issubset({-1.0, 1.0})
+
+    def test_reaches_low_energy_state(self):
+        """The dynamics must land within a modest margin of the true optimum."""
+        model = _random_model(10, seed=12)
+        _, exact = model.ground_state_brute_force()
+        result = BRIMSimulator(BRIMConfig(n_steps=3000), rng=2).run(model)
+        # exact is negative; allow a 15% relative gap.
+        assert result.energy <= exact * 0.85
+
+    def test_energy_decreases_over_trajectory(self):
+        model = _random_model(12, seed=13)
+        result = BRIMSimulator(BRIMConfig(n_steps=2000), rng=3).run(model)
+        early = result.energy_trace[:100].mean()
+        late = result.energy_trace[-100:].mean()
+        assert late < early
+
+    def test_initial_voltages_respected(self):
+        model = _random_model(6, seed=14)
+        sim = BRIMSimulator(BRIMConfig(n_steps=10, flip_probability_scale=0.0), rng=4)
+        result = sim.run(model, initial_voltages=np.full(6, 0.05))
+        assert result.voltages.shape == (6,)
+
+    def test_invalid_initial_voltages(self):
+        model = _random_model(6, seed=15)
+        sim = BRIMSimulator(rng=0)
+        with pytest.raises(ValidationError):
+            sim.run(model, initial_voltages=np.zeros(5))
+
+    def test_record_trace_toggle(self):
+        model = _random_model(6, seed=16)
+        result = BRIMSimulator(BRIMConfig(n_steps=50), rng=5).run(model, record_trace=False)
+        assert result.energy_trace.size == 0
+
+    def test_matches_simulated_annealing_quality(self):
+        """BRIM and SA should find comparably low energies (correctness oracle)."""
+        model = _random_model(14, seed=17)
+        sa = SimulatedAnnealingSolver(n_sweeps=300, rng=6).solve(model)
+        brim = BRIMSimulator(BRIMConfig(n_steps=4000), rng=7).run(model)
+        assert brim.energy <= sa.energy * 0.8 + 0.2 * abs(sa.energy) or brim.energy <= sa.energy + 0.3 * abs(sa.energy)
+
+    def test_sampler_interface(self):
+        model = _random_model(8, seed=18)
+        samples = BRIMSimulator(BRIMConfig(n_steps=200), rng=8).sample(model, 5, steps_per_sample=20)
+        assert samples.shape == (5, 8)
+        assert set(np.unique(samples)).issubset({-1.0, 1.0})
+
+    def test_sampler_invalid_count(self):
+        model = _random_model(4, seed=19)
+        with pytest.raises(ValidationError):
+            BRIMSimulator(rng=0).sample(model, 0)
+
+    def test_deterministic_given_seed(self):
+        model = _random_model(8, seed=20)
+        a = BRIMSimulator(BRIMConfig(n_steps=300), rng=11).run(model)
+        b = BRIMSimulator(BRIMConfig(n_steps=300), rng=11).run(model)
+        np.testing.assert_array_equal(a.spins, b.spins)

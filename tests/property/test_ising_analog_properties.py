@@ -1,0 +1,151 @@
+"""Property-based tests for Ising-model and analog-circuit invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analog import ChargePumpUpdater, quantize_uniform
+from repro.eval import kl_divergence, roc_auc
+from repro.ising import IsingModel
+from repro.utils.numerics import bernoulli_sample
+
+
+def _ising_from_seed(seed: int, n_spins: int, scale: float) -> IsingModel:
+    rng = np.random.default_rng(seed)
+    couplings = np.triu(rng.normal(0, scale, (n_spins, n_spins)), 1)
+    fields = rng.normal(0, scale, n_spins)
+    return IsingModel(couplings, fields)
+
+
+ising_strategy = st.builds(
+    _ising_from_seed,
+    seed=st.integers(0, 10_000),
+    n_spins=st.integers(2, 10),
+    scale=st.floats(0.1, 2.0),
+)
+
+
+class TestIsingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(ising_strategy, st.integers(0, 2**10 - 1), st.integers(0, 9))
+    def test_flip_delta_consistency(self, model, state_index, flip_index):
+        """energy_delta_flip must always match the explicit energy difference."""
+        spins = np.array(
+            [1.0 if (state_index >> k) & 1 else -1.0 for k in range(model.n_spins)]
+        )
+        index = flip_index % model.n_spins
+        flipped = spins.copy()
+        flipped[index] = -flipped[index]
+        direct = model.energy(flipped)[0] - model.energy(spins)[0]
+        assert model.energy_delta_flip(spins, index) == pytest.approx(direct, abs=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ising_strategy)
+    def test_global_spin_flip_symmetry_without_fields(self, model):
+        """With zero fields, H(sigma) == H(-sigma) for every configuration."""
+        no_field = IsingModel(model.couplings, np.zeros(model.n_spins))
+        rng = np.random.default_rng(0)
+        spins = rng.choice([-1.0, 1.0], size=model.n_spins)
+        assert no_field.energy(spins)[0] == pytest.approx(no_field.energy(-spins)[0], abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ising_strategy)
+    def test_couplings_symmetric_zero_diagonal(self, model):
+        np.testing.assert_allclose(model.couplings, model.couplings.T)
+        np.testing.assert_allclose(np.diag(model.couplings), 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000), st.integers(2, 5))
+    def test_qubo_round_trip(self, seed, n_bits):
+        rng = np.random.default_rng(seed)
+        q = rng.normal(0, 1, (n_bits, n_bits))
+        model, offset = IsingModel.from_qubo(q)
+        q_sym = (q + q.T) / 2.0
+        for index in range(2**n_bits):
+            bits = np.array([(index >> k) & 1 for k in range(n_bits)], dtype=float)
+            sigma = 2 * bits - 1
+            assert float(bits @ q_sym @ bits) == pytest.approx(
+                float(model.energy(sigma)[0]) + offset, abs=1e-8
+            )
+
+
+class TestChargePumpProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(0, 1000),
+        st.floats(0.001, 0.3),
+        st.integers(1, 40),
+    )
+    def test_weights_never_leave_range(self, seed, step, n_updates):
+        rng = np.random.default_rng(seed)
+        pump = ChargePumpUpdater((3, 3), step_size=step, weight_range=(-1.0, 1.0), rng=seed)
+        weights = rng.uniform(-1, 1, (3, 3))
+        for _ in range(n_updates):
+            correlation = (rng.random((3, 3)) < 0.5).astype(float)
+            pump.apply(weights, correlation, positive=bool(rng.integers(0, 2)))
+        assert weights.min() >= -1.0 - 1e-9
+        assert weights.max() <= 1.0 + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 1000), st.floats(0.001, 0.1))
+    def test_positive_phase_never_decreases_weights(self, seed, step):
+        rng = np.random.default_rng(seed)
+        pump = ChargePumpUpdater((4, 2), step_size=step, rng=seed)
+        weights = rng.uniform(-0.5, 0.5, (4, 2))
+        before = weights.copy()
+        pump.apply(weights, np.ones((4, 2)), positive=True)
+        assert np.all(weights >= before - 1e-12)
+
+
+class TestQuantizationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        hnp.arrays(dtype=float, shape=st.integers(1, 50),
+                   elements=st.floats(-1, 1, allow_nan=False)),
+        st.integers(2, 12),
+    )
+    def test_quantization_error_bounded_by_half_lsb(self, values, bits):
+        quantized = quantize_uniform(values, bits, (-1.0, 1.0))
+        lsb = 2.0 / ((1 << bits) - 1)
+        assert np.max(np.abs(values - quantized)) <= lsb / 2 + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        hnp.arrays(dtype=float, shape=st.integers(1, 50),
+                   elements=st.floats(-5, 5, allow_nan=False)),
+        st.integers(1, 10),
+    )
+    def test_quantization_idempotent(self, values, bits):
+        once = quantize_uniform(values, bits, (-1.0, 1.0))
+        twice = quantize_uniform(once, bits, (-1.0, 1.0))
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+class TestMetricProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(4, 40))
+    def test_kl_divergence_non_negative(self, seed, size):
+        rng = np.random.default_rng(seed)
+        p = rng.random(size) + 1e-6
+        q = rng.random(size) + 1e-6
+        assert kl_divergence(p, q) >= -1e-10
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(5, 60))
+    def test_auc_is_complement_under_score_negation(self, seed, size):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(size)
+        labels = np.zeros(size, dtype=int)
+        labels[: max(1, size // 3)] = 1
+        rng.shuffle(labels)
+        auc = roc_auc(scores, labels)
+        flipped = roc_auc(-scores, labels)
+        assert auc + flipped == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.floats(0.05, 0.95))
+    def test_bernoulli_sampling_mean(self, seed, probability):
+        samples = bernoulli_sample(np.full(4000, probability), rng=seed)
+        assert samples.mean() == pytest.approx(probability, abs=0.05)

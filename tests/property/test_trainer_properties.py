@@ -1,0 +1,100 @@
+"""Property-based tests on trainer invariants.
+
+These check structural guarantees that must hold for *any* reasonable
+configuration: parameter shapes are preserved, weights stay finite, the
+BGF's weights respect the hardware range, and trained models remain valid
+probability models.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BGFConfig, BGFTrainer, GibbsSamplerTrainer
+from repro.rbm import BernoulliRBM, CDTrainer, PCDTrainer
+
+
+def _data_from_seed(seed: int, n_samples: int, n_visible: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    prototypes = (rng.random((3, n_visible)) < 0.4).astype(float)
+    return prototypes[rng.integers(0, 3, n_samples)]
+
+
+class TestCDTrainerProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        learning_rate=st.floats(0.01, 0.5),
+        cd_k=st.integers(1, 3),
+        batch_size=st.integers(1, 20),
+    )
+    def test_parameters_stay_finite_and_shaped(self, seed, learning_rate, cd_k, batch_size):
+        data = _data_from_seed(seed, 30, 10)
+        rbm = BernoulliRBM(10, 5, rng=seed)
+        CDTrainer(learning_rate, cd_k=cd_k, batch_size=batch_size, rng=seed).train(
+            rbm, data, epochs=2
+        )
+        assert rbm.weights.shape == (10, 5)
+        assert np.all(np.isfinite(rbm.weights))
+        assert np.all(np.isfinite(rbm.visible_bias))
+        assert np.all(np.isfinite(rbm.hidden_bias))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_probabilities_remain_valid_after_training(self, seed):
+        data = _data_from_seed(seed, 30, 8)
+        rbm = BernoulliRBM(8, 4, rng=seed)
+        CDTrainer(0.3, rng=seed).train(rbm, data, epochs=3)
+        probabilities = rbm.hidden_activation_probability(data)
+        assert probabilities.min() >= 0.0
+        assert probabilities.max() <= 1.0
+
+
+class TestPCDTrainerProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 1000), particles=st.integers(1, 10))
+    def test_particles_shape_and_binarity(self, seed, particles):
+        data = _data_from_seed(seed, 30, 8)
+        rbm = BernoulliRBM(8, 4, rng=seed)
+        trainer = PCDTrainer(0.1, n_particles=particles, rng=seed)
+        trainer.train(rbm, data, epochs=2)
+        assert trainer.particles.shape == (particles, 8)
+        assert set(np.unique(trainer.particles)).issubset({0.0, 1.0})
+
+
+class TestHardwareTrainerProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 1000), cd_k=st.integers(1, 3))
+    def test_gs_trained_parameters_finite(self, seed, cd_k):
+        data = _data_from_seed(seed, 25, 10)
+        rbm = BernoulliRBM(10, 5, rng=seed)
+        GibbsSamplerTrainer(0.2, cd_k=cd_k, batch_size=5, rng=seed).train(rbm, data, epochs=2)
+        assert np.all(np.isfinite(rbm.weights))
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        step=st.floats(0.005, 0.1),
+        half_range=st.floats(0.5, 4.0),
+    )
+    def test_bgf_weights_respect_hardware_range(self, seed, step, half_range):
+        data = _data_from_seed(seed, 25, 10)
+        rbm = BernoulliRBM(10, 5, rng=seed)
+        config = BGFConfig(step_size=step, weight_range=(-half_range, half_range))
+        trainer = BGFTrainer(0.1, config=config, rng=seed)
+        trainer.train(rbm, data, epochs=2)
+        machine_weights, machine_bv, machine_bh = trainer.machine.substrate.read_parameters()
+        assert machine_weights.min() >= -half_range - 1e-9
+        assert machine_weights.max() <= half_range + 1e-9
+        assert machine_bv.min() >= -half_range - 1e-9
+        assert machine_bh.max() <= half_range + 1e-9
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_bgf_history_lengths(self, seed):
+        data = _data_from_seed(seed, 20, 10)
+        rbm = BernoulliRBM(10, 5, rng=seed)
+        history = BGFTrainer(0.2, rng=seed).train(rbm, data, epochs=3)
+        assert len(history) == 3
+        assert all(np.isfinite(history.reconstruction_error))

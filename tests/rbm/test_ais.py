@@ -1,0 +1,105 @@
+"""Tests for annealed importance sampling (the paper's log-probability estimator)."""
+
+import numpy as np
+import pytest
+
+from repro.rbm import (
+    AISEstimator,
+    BernoulliRBM,
+    CDTrainer,
+    average_log_probability,
+    estimate_log_partition,
+    exact_log_likelihood,
+    exact_log_partition,
+)
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def trained_tiny_rbm(tiny_binary_data):
+    """A 16x6 RBM trained briefly so its distribution is non-trivial."""
+    rbm = BernoulliRBM(16, 6, rng=0)
+    CDTrainer(0.2, cd_k=1, batch_size=10, rng=1).train(rbm, tiny_binary_data, epochs=10)
+    return rbm
+
+
+class TestAISEstimatorConfiguration:
+    def test_invalid_chains(self):
+        with pytest.raises(ValidationError):
+            AISEstimator(n_chains=0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValidationError):
+            AISEstimator(n_betas=1)
+
+    def test_base_bias_shape_check(self):
+        rbm = BernoulliRBM(8, 4, rng=0)
+        estimator = AISEstimator(n_chains=4, n_betas=10, base_visible_bias=np.zeros(5))
+        with pytest.raises(ValidationError):
+            estimator.estimate_log_partition(rbm)
+
+
+class TestAISAccuracy:
+    def test_zero_weight_model_is_exact(self):
+        """With zero weights AIS must recover the analytic partition function."""
+        rbm = BernoulliRBM(10, 5, rng=0)
+        rbm.set_parameters(np.zeros((10, 5)), np.zeros(10), np.zeros(5))
+        result = AISEstimator(n_chains=20, n_betas=30, rng=0).estimate_log_partition(rbm)
+        assert result.log_partition == pytest.approx(15 * np.log(2.0), abs=1e-6)
+
+    def test_matches_exact_partition_on_trained_model(self, trained_tiny_rbm):
+        exact = exact_log_partition(trained_tiny_rbm)
+        estimate = estimate_log_partition(
+            trained_tiny_rbm, n_chains=100, n_betas=300, rng=0
+        )
+        assert estimate == pytest.approx(exact, abs=0.5)
+
+    def test_data_based_base_rate_reduces_error(self, trained_tiny_rbm, tiny_binary_data):
+        exact = exact_log_partition(trained_tiny_rbm)
+        plain = estimate_log_partition(trained_tiny_rbm, n_chains=40, n_betas=100, rng=0)
+        informed = estimate_log_partition(
+            trained_tiny_rbm, n_chains=40, n_betas=100, data=tiny_binary_data, rng=0
+        )
+        assert abs(informed - exact) <= abs(plain - exact) + 0.3
+
+    def test_more_betas_reduce_error(self, trained_tiny_rbm):
+        exact = exact_log_partition(trained_tiny_rbm)
+        coarse = estimate_log_partition(trained_tiny_rbm, n_chains=50, n_betas=20, rng=3)
+        fine = estimate_log_partition(trained_tiny_rbm, n_chains=50, n_betas=400, rng=3)
+        assert abs(fine - exact) <= abs(coarse - exact) + 0.2
+
+    def test_result_metadata(self, trained_tiny_rbm):
+        result = AISEstimator(n_chains=16, n_betas=50, rng=1).estimate_log_partition(trained_tiny_rbm)
+        assert result.n_chains == 16
+        assert result.log_weights.shape == (16,)
+        assert 1.0 <= result.effective_sample_size <= 16.0
+        assert np.isfinite(result.log_partition_base)
+
+
+class TestAverageLogProbability:
+    def test_matches_exact_log_likelihood(self, trained_tiny_rbm, tiny_binary_data):
+        exact = exact_log_likelihood(trained_tiny_rbm, tiny_binary_data)
+        estimate = average_log_probability(
+            trained_tiny_rbm, tiny_binary_data, n_chains=100, n_betas=300, rng=0
+        )
+        assert estimate == pytest.approx(exact, abs=0.5)
+
+    def test_training_improves_metric(self, tiny_binary_data):
+        """The Figure-7 trend: average log probability rises with training."""
+        rbm = BernoulliRBM(16, 6, rng=0)
+        before = average_log_probability(rbm, tiny_binary_data, n_chains=50, n_betas=150, rng=0)
+        CDTrainer(0.2, cd_k=1, batch_size=10, rng=1).train(rbm, tiny_binary_data, epochs=20)
+        after = average_log_probability(rbm, tiny_binary_data, n_chains=50, n_betas=150, rng=0)
+        assert after > before + 0.5
+
+    def test_reuses_precomputed_partition(self, trained_tiny_rbm, tiny_binary_data):
+        log_z = exact_log_partition(trained_tiny_rbm)
+        value = average_log_probability(
+            trained_tiny_rbm, tiny_binary_data, log_partition=log_z
+        )
+        expected = exact_log_likelihood(trained_tiny_rbm, tiny_binary_data)
+        assert value == pytest.approx(expected, abs=1e-9)
+
+    def test_data_width_check(self, trained_tiny_rbm):
+        with pytest.raises(ValidationError):
+            average_log_probability(trained_tiny_rbm, np.zeros((4, 10)))

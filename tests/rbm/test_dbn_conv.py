@@ -1,0 +1,153 @@
+"""Tests for the DBN and the convolutional RBM."""
+
+import numpy as np
+import pytest
+
+from repro.rbm import BernoulliRBM, CDTrainer, ConvolutionalRBM, DeepBeliefNetwork
+from repro.utils.validation import ValidationError
+
+
+class TestDeepBeliefNetworkConstruction:
+    def test_layer_structure(self):
+        dbn = DeepBeliefNetwork((20, 12, 8, 4), rng=0)
+        assert dbn.n_rbm_layers == 2
+        assert dbn.rbms[0].n_visible == 20 and dbn.rbms[0].n_hidden == 12
+        assert dbn.rbms[1].n_visible == 12 and dbn.rbms[1].n_hidden == 8
+        assert dbn.n_classes == 4
+
+    def test_too_few_layers_rejected(self):
+        with pytest.raises(ValidationError):
+            DeepBeliefNetwork((20, 10))
+
+    def test_non_positive_layer_rejected(self):
+        with pytest.raises(ValidationError):
+            DeepBeliefNetwork((20, 0, 5))
+
+
+class TestDeepBeliefNetworkTraining:
+    @pytest.fixture
+    def labelled_data(self, tiny_image_dataset):
+        data = tiny_image_dataset.binarized()
+        return data.train_x, data.train_y, data.test_x, data.test_y, data.n_classes
+
+    def test_pretrain_returns_history_per_layer(self, labelled_data):
+        train_x, train_y, _, _, n_classes = labelled_data
+        dbn = DeepBeliefNetwork((train_x.shape[1], 16, 12, n_classes), rng=0)
+        histories = dbn.pretrain(train_x, epochs=2, batch_size=16)
+        assert len(histories) == 2
+
+    def test_transform_shape(self, labelled_data):
+        train_x, _, _, _, n_classes = labelled_data
+        dbn = DeepBeliefNetwork((train_x.shape[1], 16, 12, n_classes), rng=0)
+        dbn.pretrain(train_x, epochs=1, batch_size=16)
+        features = dbn.transform(train_x)
+        assert features.shape == (train_x.shape[0], 12)
+
+    def test_transform_up_to_layer(self, labelled_data):
+        train_x, _, _, _, n_classes = labelled_data
+        dbn = DeepBeliefNetwork((train_x.shape[1], 16, 12, n_classes), rng=0)
+        dbn.pretrain(train_x, epochs=1, batch_size=16)
+        assert dbn.transform(train_x, up_to_layer=1).shape == (train_x.shape[0], 16)
+
+    def test_predict_requires_fine_tune(self, labelled_data):
+        train_x, _, _, _, n_classes = labelled_data
+        dbn = DeepBeliefNetwork((train_x.shape[1], 16, 12, n_classes), rng=0)
+        dbn.pretrain(train_x, epochs=1, batch_size=16)
+        with pytest.raises(ValidationError):
+            dbn.predict(train_x)
+
+    def test_end_to_end_classification_beats_chance(self):
+        # A slightly larger sample than the shared fixture so the accuracy
+        # estimate (and the 2x-chance bar) is not dominated by test-set noise.
+        from repro.datasets import load_mnist_like
+
+        data = load_mnist_like(scale=0.15, seed=0).pooled(4).binarized()
+        dbn = DeepBeliefNetwork((data.n_features, 24, 16, data.n_classes), rng=0)
+        dbn.pretrain(data.train_x, epochs=8, learning_rate=0.2, batch_size=10)
+        dbn.fine_tune(data.train_x, data.train_y, epochs=120, learning_rate=0.2, batch_size=32)
+        accuracy = dbn.score(data.test_x, data.test_y)
+        assert accuracy > 2.0 / data.n_classes
+
+    def test_predict_proba_rows_sum_to_one(self, labelled_data):
+        train_x, train_y, test_x, _, n_classes = labelled_data
+        dbn = DeepBeliefNetwork((train_x.shape[1], 16, 12, n_classes), rng=0)
+        dbn.pretrain(train_x, epochs=1, batch_size=16)
+        dbn.fine_tune(train_x, train_y, epochs=20)
+        probabilities = dbn.predict_proba(test_x)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_custom_layer_trainer_is_used(self, labelled_data):
+        train_x, _, _, _, n_classes = labelled_data
+        calls = []
+
+        def layer_trainer(rbm, layer_data):
+            calls.append(rbm.n_hidden)
+            return CDTrainer(0.1, rng=0).train(rbm, layer_data, epochs=1)
+
+        dbn = DeepBeliefNetwork((train_x.shape[1], 10, 6, n_classes), rng=0)
+        dbn.pretrain(train_x, layer_trainer=layer_trainer)
+        assert calls == [10, 6]
+
+    def test_data_width_check(self):
+        dbn = DeepBeliefNetwork((20, 10, 4), rng=0)
+        with pytest.raises(ValidationError):
+            dbn.pretrain(np.zeros((5, 12)))
+
+
+class TestConvolutionalRBM:
+    def test_output_feature_count(self):
+        crbm = ConvolutionalRBM((8, 8), n_filters=6, filter_size=3, pool_size=2, rng=0)
+        # feature maps are 6x6, pooled to 3x3, times 6 filters
+        assert crbm.feature_map_shape == (6, 6)
+        assert crbm.pooled_shape == (3, 3)
+        assert crbm.n_output_features == 54
+
+    def test_transform_shape_and_range(self):
+        crbm = ConvolutionalRBM((8, 8), n_filters=4, filter_size=3, rng=0)
+        images = np.random.default_rng(0).random((5, 64))
+        features = crbm.transform(images)
+        assert features.shape == (5, crbm.n_output_features)
+        assert features.min() >= 0.0 and features.max() <= 1.0
+
+    def test_color_images_supported(self):
+        crbm = ConvolutionalRBM((6, 6, 3), n_filters=4, filter_size=3, rng=0)
+        images = np.random.default_rng(1).random((4, 108))
+        assert crbm.transform(images).shape[0] == 4
+
+    def test_training_reduces_patch_reconstruction_error(self):
+        rng = np.random.default_rng(2)
+        # Images with strong vertical-stripe structure the filters can learn.
+        images = np.tile((rng.random((10, 1, 8)) < 0.5).astype(float), (1, 8, 1)).reshape(10, 64)
+        crbm = ConvolutionalRBM((8, 8), n_filters=6, filter_size=3, rng=0)
+        errors = crbm.train(images, epochs=12, learning_rate=0.3, patches_per_image=15, rng=3)
+        assert errors[-1] < errors[0]
+
+    def test_filter_too_large_rejected(self):
+        with pytest.raises(ValidationError):
+            ConvolutionalRBM((4, 4), filter_size=6)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            ConvolutionalRBM((4,))
+
+    def test_transform_shape_mismatch_rejected(self):
+        crbm = ConvolutionalRBM((8, 8), n_filters=4, filter_size=3, rng=0)
+        with pytest.raises(ValidationError):
+            crbm.transform(np.zeros((3, 50)))
+
+    def test_invalid_training_parameters(self):
+        crbm = ConvolutionalRBM((8, 8), n_filters=4, filter_size=3, rng=0)
+        images = np.zeros((2, 64))
+        with pytest.raises(ValidationError):
+            crbm.train(images, epochs=0)
+        with pytest.raises(ValidationError):
+            crbm.train(images, learning_rate=-1.0)
+
+    def test_pipeline_into_dense_rbm(self, tiny_image_dataset):
+        """The CIFAR10/SmallNORB pipeline: conv features feed a dense RBM."""
+        data = tiny_image_dataset
+        crbm = ConvolutionalRBM(data.image_shape, n_filters=4, filter_size=3, rng=0)
+        features = crbm.transform(data.train_x)
+        rbm = BernoulliRBM(features.shape[1], 12, rng=0)
+        history = CDTrainer(0.1, rng=1).train(rbm, features, epochs=2)
+        assert len(history) == 2

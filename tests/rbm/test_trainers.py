@@ -1,0 +1,150 @@
+"""Tests for the CD-k and PCD trainers."""
+
+import numpy as np
+import pytest
+
+from repro.rbm import BernoulliRBM, CDTrainer, PCDTrainer
+from repro.rbm.metrics import reconstruction_error
+from repro.utils.validation import ValidationError
+
+
+class TestCDTrainerConfiguration:
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValidationError):
+            CDTrainer(learning_rate=0.0)
+
+    def test_invalid_cd_k(self):
+        with pytest.raises(ValidationError):
+            CDTrainer(cd_k=0)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValidationError):
+            CDTrainer(batch_size=0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValidationError):
+            CDTrainer(momentum=1.0)
+
+    def test_invalid_weight_decay(self):
+        with pytest.raises(ValidationError):
+            CDTrainer(weight_decay=-0.1)
+
+
+class TestCDTraining:
+    def test_reconstruction_error_decreases(self, tiny_binary_data):
+        rbm = BernoulliRBM(16, 8, rng=0)
+        before = reconstruction_error(rbm, tiny_binary_data)
+        CDTrainer(0.2, cd_k=1, batch_size=10, rng=1).train(rbm, tiny_binary_data, epochs=15)
+        after = reconstruction_error(rbm, tiny_binary_data)
+        assert after < before
+
+    def test_history_length_and_monotone_epochs(self, tiny_binary_data):
+        rbm = BernoulliRBM(16, 8, rng=0)
+        history = CDTrainer(0.1, rng=1).train(rbm, tiny_binary_data, epochs=4)
+        assert len(history) == 4
+        assert history.epochs == [0, 1, 2, 3]
+
+    def test_parameters_change(self, tiny_binary_data):
+        rbm = BernoulliRBM(16, 8, rng=0)
+        before = rbm.weights.copy()
+        CDTrainer(0.1, rng=1).train(rbm, tiny_binary_data, epochs=1)
+        assert not np.allclose(rbm.weights, before)
+
+    def test_deterministic_given_seeds(self, tiny_binary_data):
+        results = []
+        for _ in range(2):
+            rbm = BernoulliRBM(16, 8, rng=0)
+            CDTrainer(0.1, cd_k=2, batch_size=7, rng=5).train(rbm, tiny_binary_data, epochs=3)
+            results.append(rbm.weights.copy())
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_data_width_mismatch_rejected(self):
+        rbm = BernoulliRBM(10, 4, rng=0)
+        with pytest.raises(ValidationError):
+            CDTrainer().train(rbm, np.zeros((5, 8)), epochs=1)
+
+    def test_invalid_epochs(self, tiny_binary_data):
+        rbm = BernoulliRBM(16, 8, rng=0)
+        with pytest.raises(ValidationError):
+            CDTrainer().train(rbm, tiny_binary_data, epochs=0)
+
+    def test_weight_decay_limits_weight_growth(self, tiny_binary_data):
+        free = BernoulliRBM(16, 8, rng=0)
+        decayed = free.copy()
+        CDTrainer(0.3, rng=1).train(free, tiny_binary_data, epochs=10)
+        CDTrainer(0.3, weight_decay=0.1, rng=1).train(decayed, tiny_binary_data, epochs=10)
+        assert np.abs(decayed.weights).mean() < np.abs(free.weights).mean()
+
+    def test_momentum_runs(self, tiny_binary_data):
+        rbm = BernoulliRBM(16, 8, rng=0)
+        history = CDTrainer(0.1, momentum=0.5, rng=1).train(rbm, tiny_binary_data, epochs=3)
+        assert len(history) == 3
+
+    def test_callback_invoked_every_epoch(self, tiny_binary_data):
+        calls = []
+        trainer = CDTrainer(0.1, rng=1, callback=lambda epoch, rbm: calls.append(epoch))
+        rbm = BernoulliRBM(16, 8, rng=0)
+        trainer.train(rbm, tiny_binary_data, epochs=5)
+        assert calls == [0, 1, 2, 3, 4]
+
+    def test_cd10_not_worse_than_cd1(self, tiny_binary_data):
+        """CD-10's reconstruction should be at least comparable to CD-1's."""
+        cd1 = BernoulliRBM(16, 8, rng=0)
+        cd10 = cd1.copy()
+        CDTrainer(0.2, cd_k=1, batch_size=10, rng=1).train(cd1, tiny_binary_data, epochs=15)
+        CDTrainer(0.2, cd_k=10, batch_size=10, rng=1).train(cd10, tiny_binary_data, epochs=15)
+        assert reconstruction_error(cd10, tiny_binary_data) < 1.5 * reconstruction_error(
+            cd1, tiny_binary_data
+        )
+
+
+class TestPCDTrainer:
+    def test_configuration_validation(self):
+        with pytest.raises(ValidationError):
+            PCDTrainer(n_particles=0)
+        with pytest.raises(ValidationError):
+            PCDTrainer(gibbs_steps=0)
+        with pytest.raises(ValidationError):
+            PCDTrainer(learning_rate=-0.1)
+
+    def test_training_reduces_reconstruction_error(self, tiny_binary_data):
+        rbm = BernoulliRBM(16, 8, rng=0)
+        before = reconstruction_error(rbm, tiny_binary_data)
+        PCDTrainer(0.1, n_particles=5, rng=1).train(rbm, tiny_binary_data, epochs=15)
+        assert reconstruction_error(rbm, tiny_binary_data) < before
+
+    def test_particles_persist_across_epochs(self, tiny_binary_data):
+        trainer = PCDTrainer(0.1, n_particles=4, rng=1)
+        rbm = BernoulliRBM(16, 8, rng=0)
+        trainer.train(rbm, tiny_binary_data, epochs=1)
+        first = trainer.particles
+        trainer.train(rbm, tiny_binary_data, epochs=1, reset_particles=False)
+        second = trainer.particles
+        assert first.shape == second.shape == (4, 16)
+        # Particles evolve rather than being re-drawn from scratch.
+        assert not np.array_equal(first, second)
+
+    def test_reset_particles(self, tiny_binary_data):
+        trainer = PCDTrainer(0.1, n_particles=4, rng=1)
+        rbm = BernoulliRBM(16, 8, rng=0)
+        assert trainer.particles is None
+        trainer.train(rbm, tiny_binary_data, epochs=1)
+        assert trainer.particles is not None
+
+    def test_particle_shape_mismatch_rejected(self, tiny_binary_data):
+        trainer = PCDTrainer(0.1, n_particles=4, rng=1)
+        rbm = BernoulliRBM(16, 8, rng=0)
+        trainer.train(rbm, tiny_binary_data, epochs=1)
+        other = BernoulliRBM(12, 8, rng=0)
+        with pytest.raises(ValidationError):
+            trainer.train(other, np.zeros((10, 12)), epochs=1, reset_particles=False)
+
+    def test_data_mismatch_rejected(self):
+        rbm = BernoulliRBM(10, 4, rng=0)
+        with pytest.raises(ValidationError):
+            PCDTrainer().train(rbm, np.zeros((5, 8)), epochs=1)
+
+    def test_history_recorded(self, tiny_binary_data):
+        rbm = BernoulliRBM(16, 8, rng=0)
+        history = PCDTrainer(0.1, rng=1).train(rbm, tiny_binary_data, epochs=3)
+        assert len(history) == 3

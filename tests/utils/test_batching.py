@@ -1,0 +1,106 @@
+"""Tests for repro.utils.batching."""
+
+import numpy as np
+import pytest
+
+from repro.utils.batching import minibatches, shuffle_arrays, train_test_split
+
+
+class TestMinibatches:
+    def test_covers_all_rows(self):
+        data = np.arange(23).reshape(23, 1)
+        batches = list(minibatches(data, 5))
+        assert sum(b.shape[0] for b in batches) == 23
+
+    def test_batch_sizes(self):
+        data = np.arange(20).reshape(10, 2)
+        sizes = [b.shape[0] for b in minibatches(data, 4)]
+        assert sizes == [4, 4, 2]
+
+    def test_drop_last(self):
+        data = np.arange(20).reshape(10, 2)
+        sizes = [b.shape[0] for b in minibatches(data, 4, drop_last=True)]
+        assert sizes == [4, 4]
+
+    def test_no_shuffle_preserves_order(self):
+        data = np.arange(12).reshape(6, 2)
+        first = next(iter(minibatches(data, 3)))
+        np.testing.assert_array_equal(first, data[:3])
+
+    def test_shuffle_changes_order_but_not_content(self):
+        data = np.arange(50).reshape(50, 1)
+        batches = list(minibatches(data, 10, shuffle=True, rng=0))
+        combined = np.sort(np.concatenate(batches).ravel())
+        np.testing.assert_array_equal(combined, np.arange(50))
+
+    def test_shuffle_is_seeded(self):
+        data = np.arange(30).reshape(30, 1)
+        a = np.concatenate(list(minibatches(data, 7, shuffle=True, rng=3)))
+        b = np.concatenate(list(minibatches(data, 7, shuffle=True, rng=3)))
+        np.testing.assert_array_equal(a, b)
+
+    def test_with_labels(self):
+        data = np.arange(10).reshape(10, 1)
+        labels = np.arange(10)
+        for batch_x, batch_y in minibatches(data, 3, labels=labels):
+            np.testing.assert_array_equal(batch_x.ravel(), batch_y)
+
+    def test_misaligned_labels_rejected(self):
+        with pytest.raises(ValueError):
+            list(minibatches(np.zeros((5, 2)), 2, labels=np.zeros(4)))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(minibatches(np.zeros((5, 2)), 0))
+
+
+class TestShuffleArrays:
+    def test_same_permutation_applied(self):
+        x = np.arange(20).reshape(20, 1)
+        y = np.arange(20)
+        sx, sy = shuffle_arrays(x, y, rng=0)
+        np.testing.assert_array_equal(sx.ravel(), sy)
+
+    def test_content_preserved(self):
+        x = np.arange(15)
+        (sx,) = shuffle_arrays(x, rng=1)
+        np.testing.assert_array_equal(np.sort(sx), x)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            shuffle_arrays(np.zeros(3), np.zeros(4))
+
+    def test_empty_call_rejected(self):
+        with pytest.raises(ValueError):
+            shuffle_arrays()
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        data = np.arange(100).reshape(100, 1)
+        train, test = train_test_split(data, test_fraction=0.25, rng=0)
+        assert train.shape[0] == 75
+        assert test.shape[0] == 25
+
+    def test_partition_is_disjoint_and_complete(self):
+        data = np.arange(40).reshape(40, 1)
+        train, test = train_test_split(data, test_fraction=0.2, rng=1)
+        combined = np.sort(np.concatenate([train, test]).ravel())
+        np.testing.assert_array_equal(combined, np.arange(40))
+
+    def test_with_labels(self):
+        data = np.arange(30).reshape(30, 1)
+        labels = np.arange(30)
+        train_x, test_x, train_y, test_y = train_test_split(data, labels, test_fraction=0.3, rng=2)
+        np.testing.assert_array_equal(train_x.ravel(), train_y)
+        np.testing.assert_array_equal(test_x.ravel(), test_y)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((10, 1)), test_fraction=1.5)
+
+    def test_seeded(self):
+        data = np.arange(20).reshape(20, 1)
+        a_train, _ = train_test_split(data, test_fraction=0.2, rng=5)
+        b_train, _ = train_test_split(data, test_fraction=0.2, rng=5)
+        np.testing.assert_array_equal(a_train, b_train)

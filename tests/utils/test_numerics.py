@@ -1,0 +1,149 @@
+"""Tests for repro.utils.numerics."""
+
+import numpy as np
+import pytest
+from scipy.special import expit, logsumexp as scipy_logsumexp
+
+from repro.utils.numerics import (
+    bernoulli_sample,
+    binary_to_sign,
+    clip_norm,
+    log1pexp,
+    log_sigmoid,
+    logsumexp,
+    sigmoid,
+    sign_to_binary,
+    softmax,
+    softplus,
+)
+
+
+class TestSigmoid:
+    def test_matches_scipy(self):
+        x = np.linspace(-20, 20, 101)
+        np.testing.assert_allclose(sigmoid(x), expit(x), atol=1e-12)
+
+    def test_extreme_values_do_not_overflow(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_zero_is_half(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_shape_preserved(self):
+        assert sigmoid(np.zeros((3, 4))).shape == (3, 4)
+
+
+class TestLogSigmoidAndSoftplus:
+    def test_log_sigmoid_matches_log_of_sigmoid(self):
+        x = np.linspace(-10, 10, 41)
+        np.testing.assert_allclose(log_sigmoid(x), np.log(expit(x)), atol=1e-10)
+
+    def test_log_sigmoid_large_negative(self):
+        # log(sigmoid(-500)) = -500 exactly (to first order), must not be -inf
+        assert log_sigmoid(np.array([-500.0]))[0] == pytest.approx(-500.0, rel=1e-6)
+
+    def test_log1pexp_matches_naive_in_safe_range(self):
+        x = np.linspace(-30, 30, 61)
+        np.testing.assert_allclose(log1pexp(x), np.log1p(np.exp(np.minimum(x, 700))), rtol=1e-10)
+
+    def test_log1pexp_large_positive_is_linear(self):
+        assert log1pexp(np.array([1000.0]))[0] == pytest.approx(1000.0)
+
+    def test_softplus_alias(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_array_equal(softplus(x), log1pexp(x))
+
+
+class TestLogsumexp:
+    def test_matches_scipy_flat(self):
+        x = np.random.default_rng(0).normal(size=50)
+        assert logsumexp(x) == pytest.approx(scipy_logsumexp(x))
+
+    def test_matches_scipy_along_axis(self):
+        x = np.random.default_rng(1).normal(size=(6, 7))
+        np.testing.assert_allclose(logsumexp(x, axis=1), scipy_logsumexp(x, axis=1))
+
+    def test_keepdims(self):
+        x = np.zeros((3, 4))
+        assert logsumexp(x, axis=1, keepdims=True).shape == (3, 1)
+
+    def test_large_values_stable(self):
+        x = np.array([1000.0, 1000.0])
+        assert logsumexp(x) == pytest.approx(1000.0 + np.log(2.0))
+
+    def test_with_neg_inf(self):
+        x = np.array([-np.inf, 0.0])
+        assert logsumexp(x) == pytest.approx(0.0)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = np.random.default_rng(2).normal(size=(5, 8))
+        np.testing.assert_allclose(softmax(x, axis=1).sum(axis=1), np.ones(5))
+
+    def test_invariant_to_shift(self):
+        x = np.random.default_rng(3).normal(size=(4, 6))
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), atol=1e-12)
+
+    def test_large_values_stable(self):
+        out = softmax(np.array([[1000.0, 0.0]]))
+        assert out[0, 0] == pytest.approx(1.0)
+
+
+class TestBernoulliSample:
+    def test_output_is_binary(self):
+        p = np.random.default_rng(4).random((20, 20))
+        samples = bernoulli_sample(p, rng=0)
+        assert set(np.unique(samples)).issubset({0.0, 1.0})
+
+    def test_deterministic_probabilities(self):
+        p = np.array([0.0, 1.0, 0.0, 1.0])
+        np.testing.assert_array_equal(bernoulli_sample(p, rng=0), p)
+
+    def test_mean_approximates_probability(self):
+        p = np.full(20000, 0.3)
+        samples = bernoulli_sample(p, rng=5)
+        assert samples.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_seeded_reproducibility(self):
+        p = np.full(100, 0.5)
+        np.testing.assert_array_equal(bernoulli_sample(p, rng=9), bernoulli_sample(p, rng=9))
+
+
+class TestSpinBitConversions:
+    def test_round_trip_from_bits(self):
+        bits = np.array([0.0, 1.0, 1.0, 0.0])
+        np.testing.assert_array_equal(sign_to_binary(binary_to_sign(bits)), bits)
+
+    def test_round_trip_from_spins(self):
+        spins = np.array([-1.0, 1.0, -1.0])
+        np.testing.assert_array_equal(binary_to_sign(sign_to_binary(spins)), spins)
+
+    def test_values(self):
+        np.testing.assert_array_equal(binary_to_sign(np.array([0.0, 1.0])), np.array([-1.0, 1.0]))
+        np.testing.assert_array_equal(sign_to_binary(np.array([-1.0, 1.0])), np.array([0.0, 1.0]))
+
+
+class TestClipNorm:
+    def test_no_clipping_when_small(self):
+        x = np.array([0.3, 0.4])
+        np.testing.assert_array_equal(clip_norm(x, 10.0), x)
+
+    def test_clips_to_max_norm(self):
+        x = np.array([3.0, 4.0])
+        clipped = clip_norm(x, 1.0)
+        assert np.linalg.norm(clipped) == pytest.approx(1.0)
+
+    def test_direction_preserved(self):
+        x = np.array([3.0, 4.0])
+        clipped = clip_norm(x, 1.0)
+        np.testing.assert_allclose(clipped / np.linalg.norm(clipped), x / np.linalg.norm(x))
+
+    def test_zero_vector_unchanged(self):
+        np.testing.assert_array_equal(clip_norm(np.zeros(3), 1.0), np.zeros(3))
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_norm(np.ones(2), 0.0)

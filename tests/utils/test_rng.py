@@ -1,0 +1,90 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomState, as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_returns_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(123).random(5)
+        b = as_rng(123).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).random(5)
+        b = as_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_rng(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 3)
+        draws = [c.random(4) for c in children]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_deterministic_given_seed(self):
+        a = [g.random(3) for g in spawn_rngs(9, 2)]
+        b = [g.random(3) for g in spawn_rngs(9, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(3)
+        children = spawn_rngs(gen, 2)
+        assert len(children) == 2
+
+
+class TestRandomState:
+    def test_named_streams_are_stable(self):
+        state_a = RandomState(5)
+        state_b = RandomState(5)
+        np.testing.assert_array_equal(
+            state_a.stream("noise").random(4), state_b.stream("noise").random(4)
+        )
+
+    def test_named_streams_are_independent(self):
+        state = RandomState(5)
+        a = state.stream("a").random(4)
+        b = state.stream("b").random(4)
+        assert not np.allclose(a, b)
+
+    def test_stream_is_cached(self):
+        state = RandomState(0)
+        assert state.stream("x") is state.stream("x")
+
+    def test_draws_on_one_stream_do_not_affect_another(self):
+        reference = RandomState(1).stream("target").random(4)
+        state = RandomState(1)
+        state.stream("other").random(100)  # consume a lot from another stream
+        np.testing.assert_array_equal(state.stream("target").random(4), reference)
+
+    def test_spawn(self):
+        state = RandomState(2)
+        children = state.spawn("particles", 4)
+        assert len(children) == 4
+        assert not np.allclose(children[0].random(3), children[1].random(3))
