@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-compare artifacts
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Run the kernel benchmark harness and refresh the evidence file.
+bench:
+	$(PYTHON) benchmarks/bench_kernels.py --output benchmarks/BENCH_kernels.json
+
+## Compare the current tree's kernels against the checked-in evidence file
+## without overwriting it; fails on a >20% regression.
+bench-compare:
+	$(PYTHON) benchmarks/bench_kernels.py --output /tmp/BENCH_kernels.new.json
+	$(PYTHON) benchmarks/compare_bench.py benchmarks/BENCH_kernels.json /tmp/BENCH_kernels.new.json
+
+## Regenerate every paper artifact (slow; prints the tables/figures).
+artifacts:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

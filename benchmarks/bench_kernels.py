@@ -1,0 +1,12 @@
+#!/usr/bin/env python
+"""Thin wrapper: run the kernel benchmark harness from the repo root.
+
+Equivalent to the ``repro-bench-kernels`` console script; see
+``repro.bench.kernels`` for the implementation and ``make bench`` for the
+canonical invocation.
+"""
+
+from repro.bench.kernels import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+#!/usr/bin/env python
+"""Thin wrapper: diff two BENCH_*.json files, exit nonzero on regression.
+
+Equivalent to the ``repro-compare-bench`` console script; see
+``repro.bench.compare`` for the implementation.  Usage::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py OLD.json NEW.json
+"""
+
+from repro.bench.compare import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

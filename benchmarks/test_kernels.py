@@ -4,6 +4,12 @@ These are not paper artifacts; they track the cost of the building blocks
 every experiment is made of (CD epochs, substrate sampling, BGF learning
 steps, AIS sweeps, BRIM integration), which is useful when optimizing the
 simulators.
+
+The ``*_legacy`` variants run the same kernels with ``fast_path=False`` (the
+seed implementation) so ``pytest benchmarks/test_kernels.py --benchmark-only``
+shows the fast-path layer's before/after directly; ``benchmarks/
+bench_kernels.py`` emits the same comparison as a ``BENCH_kernels.json``
+evidence file for the ``compare_bench.py`` regression gate.
 """
 
 import numpy as np
@@ -41,9 +47,21 @@ def test_gibbs_sampler_training_epoch(benchmark, data):
     benchmark(trainer.train, rbm, data, epochs=1)
 
 
+def test_gibbs_sampler_training_epoch_legacy(benchmark, data):
+    rbm = BernoulliRBM(49, 32, rng=0)
+    trainer = GibbsSamplerTrainer(0.1, cd_k=1, batch_size=10, rng=1, fast_path=False)
+    benchmark(trainer.train, rbm, data, epochs=1)
+
+
 def test_bgf_training_epoch(benchmark, data):
     rbm = BernoulliRBM(49, 32, rng=0)
     trainer = BGFTrainer(0.1, reference_batch_size=10, rng=1)
+    benchmark(trainer.train, rbm, data, epochs=1)
+
+
+def test_bgf_training_epoch_legacy(benchmark, data):
+    rbm = BernoulliRBM(49, 32, rng=0)
+    trainer = BGFTrainer(0.1, reference_batch_size=10, rng=1, fast_path=False)
     benchmark(trainer.train, rbm, data, epochs=1)
 
 
@@ -51,6 +69,22 @@ def test_substrate_conditional_sampling(benchmark, data):
     substrate = BipartiteIsingSubstrate(49, 32, rng=0)
     substrate.program(np.random.default_rng(1).normal(0, 0.1, (49, 32)), np.zeros(49), np.zeros(32))
     benchmark(substrate.sample_hidden_given_visible, data)
+
+
+def test_substrate_conditional_sampling_legacy(benchmark, data):
+    substrate = BipartiteIsingSubstrate(49, 32, rng=0, fast_path=False)
+    substrate.program(np.random.default_rng(1).normal(0, 0.1, (49, 32)), np.zeros(49), np.zeros(32))
+    benchmark(substrate.sample_hidden_given_visible, data)
+
+
+def test_substrate_conditional_sampling_784x500(benchmark):
+    """Substrate sampling at the paper's MNIST scale (784 visible, 500 hidden)."""
+    substrate = BipartiteIsingSubstrate(784, 500, rng=0)
+    substrate.program(
+        np.random.default_rng(1).normal(0, 0.1, (784, 500)), np.zeros(784), np.zeros(500)
+    )
+    batch = np.random.default_rng(2).random((64, 784))
+    benchmark(substrate.sample_hidden_given_visible, batch)
 
 
 def test_ais_partition_estimate(benchmark, data):

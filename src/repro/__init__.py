@@ -20,6 +20,8 @@ contains:
 * ``repro.eval``        -- classifier head, MAE/ROC/KL metrics, recommender
                            and anomaly-detection wrappers.
 * ``repro.experiments`` -- one driver per table/figure of the evaluation.
+* ``repro.bench``       -- kernel-regression benchmark harness
+                           (``BENCH_kernels.json`` emit/compare tooling).
 
 Quickstart::
 
@@ -44,4 +46,5 @@ __all__ = [
     "eval",
     "experiments",
     "utils",
+    "bench",
 ]

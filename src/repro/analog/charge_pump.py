@@ -91,6 +91,10 @@ class ChargePumpUpdater:
             self._unit_gain = np.maximum(self._unit_gain, 0.05)
         else:
             self._unit_gain = np.ones(self.shape)
+        # step_size and the static per-unit gain never change after
+        # construction, so their product is precomputed once; every update
+        # path reads this (and must never mutate it).
+        self._base_steps = self.step_size * self._unit_gain
 
     # ------------------------------------------------------------------ #
     def _headroom(self, weights: np.ndarray, positive: bool) -> np.ndarray:
@@ -108,6 +112,39 @@ class ChargePumpUpdater:
             remaining = (weights - lo) / span
         return np.clip(remaining / self.saturation_margin, 0.0, 1.0)
 
+    def _weight_steps(self, weights: np.ndarray, positive: bool) -> np.ndarray:
+        """Per-unit steps incl. saturation and update noise (single source of
+        the weight update law, shared by :meth:`apply` and :meth:`apply_sample`).
+
+        May return ``_base_steps`` itself when no factor applies — callers
+        must treat the result as read-only.
+        """
+        steps = self._base_steps
+        if self.saturation:
+            steps = steps * self._headroom(weights, positive)
+        if self.noise_rms > 0:
+            steps = steps * (1.0 + self._rng.normal(0.0, self.noise_rms, size=self.shape))
+        return steps
+
+    def _bias_steps(self, biases: np.ndarray, positive: bool) -> np.ndarray:
+        """Per-unit bias steps (single source of the bias update law, shared
+        by :meth:`apply_bias` and :meth:`apply_bias_sample`).
+
+        The bias headroom deliberately omits the ``saturation_margin``
+        division used for weights: the clamp column rolls off linearly over
+        the whole range.
+        """
+        lo, hi = self.weight_range
+        if self.saturation:
+            headroom = (hi - biases) / (hi - lo) if positive else (biases - lo) / (hi - lo)
+            headroom = np.clip(headroom, 0.0, 1.0)
+            steps = self.step_size * headroom
+        else:
+            steps = np.full_like(biases, self.step_size)
+        if self.noise_rms > 0:
+            steps = steps * (1.0 + self._rng.normal(0.0, self.noise_rms, size=biases.shape))
+        return steps
+
     def step_matrix(self, weights: np.ndarray, positive: bool) -> np.ndarray:
         """Effective per-unit step sizes for the current weights and phase."""
         weights = np.asarray(weights, dtype=float)
@@ -115,10 +152,9 @@ class ChargePumpUpdater:
             raise ValidationError(
                 f"weights shape {weights.shape} does not match updater shape {self.shape}"
             )
-        steps = self.step_size * self._unit_gain
         if self.saturation:
-            steps = steps * self._headroom(weights, positive)
-        return steps
+            return self._base_steps * self._headroom(weights, positive)
+        return self._base_steps.copy()
 
     def apply(
         self,
@@ -147,9 +183,7 @@ class ChargePumpUpdater:
                 "weights and correlation must both have shape "
                 f"{self.shape}; got {weights.shape} and {correlation.shape}"
             )
-        steps = self.step_matrix(weights, positive)
-        if self.noise_rms > 0:
-            steps = steps * (1.0 + self._rng.normal(0.0, self.noise_rms, size=self.shape))
+        steps = self._weight_steps(weights, positive)
         delta = np.where(correlation > 0, steps, 0.0)
         if positive:
             weights += delta
@@ -157,6 +191,50 @@ class ChargePumpUpdater:
             weights -= delta
         np.clip(weights, self.weight_range[0], self.weight_range[1], out=weights)
         return weights
+
+    # ------------------------------------------------------------------ #
+    # Trusted per-sample kernels (the BGF streaming fast path)
+    # ------------------------------------------------------------------ #
+    def apply_sample(
+        self,
+        weights: np.ndarray,
+        v_bits: np.ndarray,
+        h_bits: np.ndarray,
+        *,
+        positive: bool,
+    ) -> np.ndarray:
+        """Apply one sample's update from the raw bit vectors, in place.
+
+        Trusted fast path used by the BGF streaming kernel: ``v_bits`` and
+        ``h_bits`` come straight from the substrate's latches (binary by
+        construction), so the binary re-validation, the explicit
+        ``np.outer`` correlation matrix, and the ``np.where`` gating of
+        :meth:`apply` are all skipped.  Multiplying the steps by the outer
+        product of 0/1 bits lands the exact same values the masked path
+        produces.
+        """
+        steps = self._weight_steps(weights, positive)
+        delta = steps * (v_bits[:, None] * h_bits[None, :])
+        if positive:
+            weights += delta
+        else:
+            weights -= delta
+        np.clip(weights, self.weight_range[0], self.weight_range[1], out=weights)
+        return weights
+
+    def apply_bias_sample(
+        self,
+        biases: np.ndarray,
+        active: np.ndarray,
+        *,
+        positive: bool,
+    ) -> np.ndarray:
+        """Trusted counterpart of :meth:`apply_bias` for binary ``active`` bits."""
+        steps = self._bias_steps(biases, positive)
+        delta = steps * active
+        biases += delta if positive else -delta
+        np.clip(biases, self.weight_range[0], self.weight_range[1], out=biases)
+        return biases
 
     def apply_bias(
         self,
@@ -175,16 +253,8 @@ class ChargePumpUpdater:
         active = check_binary(active, name="active")
         if biases.shape != active.shape:
             raise ValidationError("biases and active must have the same shape")
-        lo, hi = self.weight_range
-        if self.saturation:
-            headroom = (hi - biases) / (hi - lo) if positive else (biases - lo) / (hi - lo)
-            headroom = np.clip(headroom, 0.0, 1.0)
-        else:
-            headroom = np.ones_like(biases)
-        steps = self.step_size * headroom
-        if self.noise_rms > 0:
-            steps = steps * (1.0 + self._rng.normal(0.0, self.noise_rms, size=biases.shape))
+        steps = self._bias_steps(biases, positive)
         delta = np.where(active > 0, steps, 0.0)
         biases += delta if positive else -delta
-        np.clip(biases, lo, hi, out=biases)
+        np.clip(biases, self.weight_range[0], self.weight_range[1], out=biases)
         return biases

@@ -30,9 +30,33 @@ def quantize_uniform(
     if hi <= lo:
         raise ValidationError(f"value_range must be increasing, got ({lo}, {hi})")
     levels = (1 << n_bits) - 1
-    values = np.clip(np.asarray(values, dtype=float), lo, hi)
-    codes = np.round((values - lo) / (hi - lo) * levels)
-    return lo + codes / levels * (hi - lo)
+    # One working buffer, mutated in place: np.clip allocates a fresh array,
+    # and every subsequent operation matches the naive
+    # ``lo + round((v - lo) / (hi - lo) * levels) / levels * (hi - lo)``
+    # expression op-for-op, so the results are bit-identical to it.
+    values = np.asarray(values, dtype=float)
+    if values.ndim == 0:
+        clipped = np.clip(values, lo, hi)
+        codes = np.round((clipped - lo) / (hi - lo) * levels)
+        return lo + codes / levels * (hi - lo)
+    out = np.clip(values, lo, hi)
+    # Shifting by lo == 0.0 and scaling by a span of 1.0 are exact no-ops in
+    # IEEE arithmetic, so they are skipped for the common [0, 1] converter.
+    shift = lo != 0.0
+    span = hi - lo
+    rescale = span != 1.0
+    if shift:
+        out -= lo
+    if rescale:
+        out /= span
+    out *= levels
+    np.round(out, out=out)
+    out /= levels
+    if rescale:
+        out *= span
+    if shift:
+        out += lo
+    return out
 
 
 class DigitalToTimeConverter:
@@ -123,9 +147,22 @@ class AnalogToDigitalConverter:
         return quantize_uniform(values, self.n_bits, self.value_range)
 
     def read_columnwise(self, matrix: np.ndarray) -> np.ndarray:
-        """Digitize a coupling matrix one column at a time (as the hardware does)."""
+        """Digitize a coupling matrix one column at a time (as the hardware does).
+
+        Vectorized over the whole matrix: quantization is elementwise, and the
+        nonlinearity noise is drawn in column order — one draw of shape
+        ``(n_cols, n_rows)`` transposed — so row ``j`` of the draw covers
+        column ``j`` exactly as the per-column loop did, keeping seeded
+        results unchanged.
+        """
         matrix = np.asarray(matrix, dtype=float)
         if matrix.ndim != 2:
             raise ValidationError("read_columnwise expects a 2-D coupling matrix")
-        columns = [self.read(matrix[:, j]) for j in range(matrix.shape[1])]
-        return np.stack(columns, axis=1)
+        if self.nonlinearity_rms > 0:
+            noise = self._rng.normal(
+                0.0,
+                self.nonlinearity_rms * self.lsb,
+                size=(matrix.shape[1], matrix.shape[0]),
+            )
+            matrix = matrix + noise.T
+        return quantize_uniform(matrix, self.n_bits, self.value_range)

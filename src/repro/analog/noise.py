@@ -103,6 +103,32 @@ class NoiseModel:
         """Static multiplicative variation applied to every coupling weight."""
         return self._coupling_gain
 
+    @property
+    def has_variation(self) -> bool:
+        """True when a non-trivial static variation draw is in effect."""
+        return self.config.variation_rms > 0.0
+
+    @property
+    def has_dynamic_noise(self) -> bool:
+        """True when fresh dynamic noise is injected on every evaluation."""
+        return self.config.noise_rms > 0.0
+
+    def static_effective(self, weights: np.ndarray) -> np.ndarray:
+        """Trusted kernel: variation-scaled weights without validation.
+
+        In the ideal-variation corner the input array itself is returned
+        (aliased, not copied) so the substrate's effective-weight cache is
+        free; callers must treat the result as read-only.
+        """
+        if not self.has_variation:
+            return weights
+        return weights * self._coupling_gain
+
+    def apply_dynamic(self, effective: np.ndarray) -> np.ndarray:
+        """Trusted kernel: fresh dynamic coupling noise on a precomputed
+        static-effective matrix (same draw order as :meth:`perturbed_coupling`)."""
+        return effective * (1.0 + self.coupling_noise())
+
     def effective_weights(self, weights: np.ndarray) -> np.ndarray:
         """Weights as the analog array actually realizes them (static variation)."""
         weights = np.asarray(weights, dtype=float)

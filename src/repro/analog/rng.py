@@ -75,6 +75,7 @@ class DynamicComparator:
         self.n_units = int(n_units)
         self.offset_rms = check_positive(offset_rms, name="offset_rms", strict=False)
         gen = as_rng(rng)
+        self._has_offsets = offset_rms > 0
         self.offsets = (
             gen.normal(0.0, offset_rms, size=n_units) if offset_rms > 0 else np.zeros(n_units)
         )
@@ -113,11 +114,25 @@ class StochasticNeuronSampler:
         )
         self.n_units = int(n_units)
 
-    def sample(self, probabilities: np.ndarray) -> np.ndarray:
-        """Draw binary samples whose success probabilities are ``probabilities``."""
-        probabilities = check_in_range_array(probabilities)
-        reference = self.noise_source.sample(probabilities.shape)
-        return self.comparator.compare(probabilities, reference)
+    def sample(self, probabilities: np.ndarray, *, validate: bool = True) -> np.ndarray:
+        """Draw binary samples whose success probabilities are ``probabilities``.
+
+        ``validate=False`` is the trusted fast path used by the substrate's
+        inner sampling loops, whose probabilities come straight from the
+        sigmoid units and are in [0, 1] by construction.
+        """
+        if validate:
+            probabilities = check_in_range_array(probabilities)
+            reference = self.noise_source.sample(probabilities.shape)
+            return self.comparator.compare(probabilities, reference)
+        # Trusted kernel: probabilities are a float array of the right width,
+        # so the range scan, re-coercions, and shape re-check are skipped;
+        # with zero comparator offsets, adding them is skipped too (a
+        # value-preserving no-op either way).
+        reference = self.noise_source.sample(np.shape(probabilities))
+        if self.comparator._has_offsets:
+            probabilities = probabilities + self.comparator.offsets
+        return (probabilities > reference).astype(float)
 
 
 def check_in_range_array(p: np.ndarray) -> np.ndarray:

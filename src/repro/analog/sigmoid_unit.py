@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.utils.numerics import sigmoid
+from repro.utils.numerics import sigmoid, sigmoid_reference
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_positive
 
@@ -43,6 +43,11 @@ class SigmoidUnit:
     output_noise_rms:
         RMS additive noise on the output probability per evaluation
         (dynamic noise, drawn on every call).
+    reference_impl:
+        Evaluate through the legacy two-pass masked logistic and the
+        unconditional output clip (the seed implementation), used by the
+        substrate's legacy benchmarking path.  Results are identical either
+        way; only the operation count differs.
     """
 
     def __init__(
@@ -54,6 +59,7 @@ class SigmoidUnit:
         gain_variation_rms: float = 0.0,
         output_noise_rms: float = 0.0,
         rng: SeedLike = None,
+        reference_impl: bool = False,
     ):
         self.gain = check_positive(gain, name="gain")
         self.offset = float(offset)
@@ -64,6 +70,7 @@ class SigmoidUnit:
             output_noise_rms, name="output_noise_rms", strict=False
         )
         self._rng = as_rng(rng)
+        self.reference_impl = bool(reference_impl)
         self.n_units = None if n_units is None else int(n_units)
         if self.n_units is not None and self.gain_variation_rms > 0:
             self._unit_gains = self.gain * (
@@ -94,7 +101,19 @@ class SigmoidUnit:
             gains = self._unit_gains
         else:
             gains = self.gain
-        out = sigmoid(gains * (x - self.offset))
+        if self.reference_impl:
+            out = sigmoid_reference(gains * (x - self.offset))
+            if self.output_noise_rms > 0:
+                out = out + self._rng.normal(0.0, self.output_noise_rms, size=out.shape)
+            return np.clip(out, 0.0, 1.0)
+        if self._unit_gains is None and self.gain == 1.0 and self.offset == 0.0:
+            # Identity transfer curve: gain/offset arithmetic is a no-op.
+            out = sigmoid(x)
+        else:
+            out = sigmoid(gains * (x - self.offset))
         if self.output_noise_rms > 0:
             out = out + self._rng.normal(0.0, self.output_noise_rms, size=out.shape)
-        return np.clip(out, 0.0, 1.0)
+            return np.clip(out, 0.0, 1.0)
+        # Noise-free outputs are already in [0, 1] (the logistic never leaves
+        # it), so the clip would be a value-preserving allocation — skip it.
+        return out

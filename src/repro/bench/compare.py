@@ -1,0 +1,87 @@
+"""Diff two BENCH_*.json files and fail on kernel regressions.
+
+Compares the fast-path medians of every kernel present in both files and
+exits nonzero when any kernel slowed down by more than the threshold
+(default 20%), so CI can gate perf the same way it gates correctness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+
+def compare_benchmarks(
+    old: Dict, new: Dict, threshold: float = 0.2
+) -> Tuple[List[str], List[str]]:
+    """Return ``(report_lines, regressions)`` for two results dictionaries."""
+    report: List[str] = []
+    regressions: List[str] = []
+    old_kernels = old.get("kernels", {})
+    new_kernels = new.get("kernels", {})
+    shared = [name for name in old_kernels if name in new_kernels]
+    if not shared:
+        raise ValueError("the two benchmark files share no kernels")
+    width = max(len(name) for name in shared)
+    for name in shared:
+        old_s = float(old_kernels[name]["fast_median_s"])
+        new_s = float(new_kernels[name]["fast_median_s"])
+        ratio = new_s / old_s if old_s > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + threshold:
+            flag = "  << REGRESSION"
+            regressions.append(name)
+        report.append(
+            f"{name:<{width}}  old={old_s * 1e3:8.2f}ms  new={new_s * 1e3:8.2f}ms"
+            f"  ratio={ratio:5.2f}{flag}"
+        )
+    only_old = sorted(set(old_kernels) - set(new_kernels))
+    only_new = sorted(set(new_kernels) - set(old_kernels))
+    if only_old:
+        report.append(f"kernels dropped in new file: {', '.join(only_old)}")
+    if only_new:
+        report.append(f"kernels added in new file: {', '.join(only_new)}")
+    return report, regressions
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", type=Path, help="baseline BENCH_*.json")
+    parser.add_argument("new", type=Path, help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="allowed fractional slowdown per kernel before failing (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        old = json.loads(args.old.read_text())
+        new = json.loads(args.new.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read benchmark file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report, regressions = compare_benchmarks(old, new, threshold=args.threshold)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for line in report:
+        print(line)
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} kernel(s) regressed by more than "
+            f"{args.threshold:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: no kernel regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

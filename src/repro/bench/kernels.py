@@ -1,0 +1,165 @@
+"""Time the hot kernels on the fast and legacy paths; emit BENCH_kernels.json.
+
+Each kernel is the inner loop every figure/table experiment funnels through
+(substrate conditional sampling, GS/BGF/CD training epochs).  For each one
+the harness reports the median wall-clock seconds of the legacy path (the
+seed implementation, ``fast_path=False``) and the fast path, plus their
+ratio, at the 49x32 benchmark scale and — for substrate sampling — the
+paper's 784x500 MNIST scale.  The JSON this writes is the evidence file the
+``repro-compare-bench`` regression gate consumes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core import BGFTrainer, GibbsSamplerTrainer
+from repro.ising import BipartiteIsingSubstrate
+from repro.rbm import BernoulliRBM, CDTrainer
+
+DEFAULT_OUTPUT = Path("benchmarks") / "BENCH_kernels.json"
+
+
+def _benchmark_data(n_features: int = 49, n_samples: int = 200) -> np.ndarray:
+    """The same prototype mixture benchmarks/test_kernels.py trains on."""
+    rng = np.random.default_rng(0)
+    prototypes = (rng.random((5, n_features)) < 0.3).astype(float)
+    samples = prototypes[rng.integers(0, 5, n_samples)]
+    flips = rng.random(samples.shape) < 0.05
+    return np.where(flips, 1.0 - samples, samples)
+
+
+def _median_seconds(fn: Callable[[], None], repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _substrate_kernel(n_visible: int, n_hidden: int, batch: np.ndarray, fast: bool):
+    substrate = BipartiteIsingSubstrate(n_visible, n_hidden, rng=0, fast_path=fast)
+    weights = np.random.default_rng(1).normal(0, 0.1, (n_visible, n_hidden))
+    substrate.program(weights, np.zeros(n_visible), np.zeros(n_hidden))
+
+    def kernel():
+        substrate.sample_hidden_given_visible(batch)
+
+    return kernel
+
+
+def _gs_epoch_kernel(data: np.ndarray, fast: bool):
+    def kernel():
+        rbm = BernoulliRBM(data.shape[1], 32, rng=0)
+        GibbsSamplerTrainer(0.1, cd_k=1, batch_size=10, rng=1, fast_path=fast).train(
+            rbm, data, epochs=1
+        )
+
+    return kernel
+
+
+def _bgf_epoch_kernel(data: np.ndarray, fast: bool):
+    def kernel():
+        rbm = BernoulliRBM(data.shape[1], 32, rng=0)
+        BGFTrainer(0.1, reference_batch_size=10, rng=1, fast_path=fast).train(
+            rbm, data, epochs=1
+        )
+
+    return kernel
+
+
+def _cd_epoch_kernel(data: np.ndarray, fast: bool):
+    def kernel():
+        rbm = BernoulliRBM(data.shape[1], 32, rng=0)
+        CDTrainer(0.1, cd_k=1, batch_size=10, rng=1, fast_path=fast).train(
+            rbm, data, epochs=1
+        )
+
+    return kernel
+
+
+def run_benchmarks(repeats: int = 9, include_large: bool = True) -> Dict:
+    """Run every kernel on both paths and return the results dictionary."""
+    data = _benchmark_data()
+    large_batch = np.random.default_rng(2).random((64, 784))
+
+    kernels = {
+        "substrate_conditional_sampling_49x32": lambda fast: _substrate_kernel(
+            49, 32, data, fast
+        ),
+        "gibbs_sampler_training_epoch_49x32": lambda fast: _gs_epoch_kernel(data, fast),
+        "bgf_training_epoch_49x32": lambda fast: _bgf_epoch_kernel(data, fast),
+        "cd1_training_epoch_49x32": lambda fast: _cd_epoch_kernel(data, fast),
+    }
+    if include_large:
+        kernels["substrate_conditional_sampling_784x500"] = lambda fast: (
+            _substrate_kernel(784, 500, large_batch, fast)
+        )
+
+    results: Dict = {
+        "meta": {
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "note": (
+                "median wall-clock seconds; legacy = fast_path=False "
+                "(the seed implementation), fast = fast_path=True"
+            ),
+        },
+        "kernels": {},
+    }
+    for name, make in kernels.items():
+        fast_s = _median_seconds(make(True), repeats)
+        legacy_s = _median_seconds(make(False), repeats)
+        results["kernels"][name] = {
+            "legacy_median_s": legacy_s,
+            "fast_median_s": fast_s,
+            "speedup": legacy_s / fast_s if fast_s > 0 else float("inf"),
+        }
+    return results
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON evidence file (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=9, help="timing repeats per kernel (median taken)"
+    )
+    parser.add_argument(
+        "--skip-large",
+        action="store_true",
+        help="skip the 784x500 substrate kernel (quicker smoke runs)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(repeats=args.repeats, include_large=not args.skip_large)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+
+    width = max(len(name) for name in results["kernels"])
+    print(f"wrote {args.output}")
+    for name, row in results["kernels"].items():
+        print(
+            f"  {name:<{width}}  legacy={row['legacy_median_s'] * 1e3:8.2f}ms"
+            f"  fast={row['fast_median_s'] * 1e3:8.2f}ms"
+            f"  speedup={row['speedup']:5.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

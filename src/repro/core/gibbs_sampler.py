@@ -52,6 +52,7 @@ class GibbsSamplerMachine:
         sigmoid_gain: float = 1.0,
         input_bits: Optional[int] = 8,
         rng: SeedLike = None,
+        fast_path: bool = True,
     ):
         self.substrate = BipartiteIsingSubstrate(
             n_visible,
@@ -60,7 +61,9 @@ class GibbsSamplerMachine:
             sigmoid_gain=sigmoid_gain,
             input_bits=input_bits,
             rng=rng,
+            fast_path=fast_path,
         )
+        self.fast_path = bool(fast_path)
         self.host = HostStatistics()
 
     @property
@@ -82,9 +85,26 @@ class GibbsSamplerMachine:
         self.substrate.program(rbm.weights, rbm.visible_bias, rbm.hidden_bias)
         self.host.record_programming()
 
+    def program_trusted(self, rbm: BernoulliRBM) -> None:
+        """Zero-copy reprogramming used by the trainer's minibatch loop.
+
+        The RBM's parameter arrays are adopted by reference instead of being
+        re-validated and deep-copied on every minibatch; the trainer
+        reprograms before each batch, so the substrate never samples from
+        stale couplings.  :meth:`program` remains the validated public API.
+        """
+        if (rbm.n_visible, rbm.n_hidden) != (self.n_visible, self.n_hidden):
+            raise ValidationError(
+                f"RBM shape {(rbm.n_visible, rbm.n_hidden)} does not match the "
+                f"machine's {(self.n_visible, self.n_hidden)} array"
+            )
+        self.substrate.program_trusted(rbm.weights, rbm.visible_bias, rbm.hidden_bias)
+        self.host.record_programming()
+
     def positive_phase(self, v_pos: np.ndarray) -> np.ndarray:
         """Clamp a batch of training samples and latch the hidden samples."""
-        self.host.record_sample_streamed(np.atleast_2d(v_pos).shape[0])
+        shape = np.shape(v_pos)
+        self.host.record_sample_streamed(shape[0] if len(shape) > 1 else 1)
         h_pos = self.substrate.sample_hidden_given_visible(v_pos)
         self.host.record_sample_read()
         return h_pos
@@ -122,6 +142,7 @@ class GibbsSamplerTrainer:
         noise_config: Optional[NoiseConfig] = None,
         rng: SeedLike = None,
         callback=None,
+        fast_path: bool = True,
     ):
         self.learning_rate = check_positive(learning_rate, name="learning_rate")
         if cd_k < 1:
@@ -135,6 +156,7 @@ class GibbsSamplerTrainer:
         self.noise_config = noise_config
         self._rng = as_rng(rng)
         self.callback = callback
+        self.fast_path = bool(fast_path)
 
     def _ensure_machine(self, rbm: BernoulliRBM) -> GibbsSamplerMachine:
         if self.machine is None or (
@@ -146,6 +168,7 @@ class GibbsSamplerTrainer:
                 rbm.n_hidden,
                 noise_config=self.noise_config,
                 rng=self._rng,
+                fast_path=self.fast_path,
             )
         return self.machine
 
@@ -168,11 +191,23 @@ class GibbsSamplerTrainer:
             raise ValidationError(f"epochs must be >= 1, got {epochs}")
         machine = self._ensure_machine(rbm)
 
+        # The trainer owns both the RBM and the machine, so reprogramming on
+        # every minibatch can adopt the RBM's arrays by reference instead of
+        # re-validating and copying the full m x n matrix each time.  The
+        # finiteness scan the legacy path ran per minibatch still runs once
+        # per train(): training arithmetic on finite inputs stays finite, so
+        # only the entry state needs checking.
+        program = machine.program_trusted if self.fast_path else machine.program
+        if self.fast_path:
+            check_array(rbm.weights, name="weights", shape=(rbm.n_visible, rbm.n_hidden))
+            check_array(rbm.visible_bias, name="visible_bias", shape=(rbm.n_visible,))
+            check_array(rbm.hidden_bias, name="hidden_bias", shape=(rbm.n_hidden,))
+
         history = TrainingHistory()
         for epoch in range(epochs):
             for batch in minibatches(data, self.batch_size, shuffle=shuffle, rng=self._rng):
                 # Step 2 of the operation sequence: program the current model.
-                machine.program(rbm)
+                program(rbm)
                 # Steps 3-6: positive and negative phases on the substrate.
                 h_pos = machine.positive_phase(batch)
                 v_neg, h_neg = machine.negative_phase(h_pos, self.cd_k)
@@ -193,4 +228,15 @@ class GibbsSamplerTrainer:
             history.record(epoch, float(np.mean((data - recon) ** 2)))
             if self.callback is not None:
                 self.callback(epoch, rbm)
+
+        if self.fast_path:
+            # Restore the no-aliasing invariant before handing the machine
+            # back: the final in-place RBM update landed after the last
+            # reprogram, so detach the substrate from the RBM's live arrays
+            # (leaving it programmed with the final parameters).  Done at the
+            # substrate level so host programming counts match the legacy
+            # path's one-write-per-minibatch accounting.
+            machine.substrate.program_trusted(
+                rbm.weights.copy(), rbm.visible_bias.copy(), rbm.hidden_bias.copy()
+            )
         return history

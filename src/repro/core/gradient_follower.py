@@ -109,9 +109,11 @@ class BoltzmannGradientFollower:
         sigmoid_gain: float = 1.0,
         input_bits: Optional[int] = 8,
         rng: SeedLike = None,
+        fast_path: bool = True,
     ):
         self.config = config if config is not None else BGFConfig()
         self.noise_config = noise_config if noise_config is not None else NoiseConfig()
+        self.fast_path = bool(fast_path)
         streams = spawn_rngs(rng, 4)
         self.substrate = BipartiteIsingSubstrate(
             n_visible,
@@ -120,6 +122,7 @@ class BoltzmannGradientFollower:
             sigmoid_gain=sigmoid_gain,
             input_bits=input_bits,
             rng=streams[0],
+            fast_path=fast_path,
         )
         self.weight_pump = ChargePumpUpdater(
             (n_visible, n_hidden),
@@ -223,6 +226,9 @@ class BoltzmannGradientFollower:
         self.hidden_bias_pump.apply_bias(
             self.substrate.hidden_bias, h_bits, positive=True
         )
+        # The pumps edit the coupling array in place behind the substrate's
+        # back; drop its cached effective weights.
+        self.substrate.invalidate_effective_weights()
 
     def _negative_step(self) -> None:
         """Operation steps 4-5: load a particle, anneal, decrement W by <v h>_s-."""
@@ -244,6 +250,64 @@ class BoltzmannGradientFollower:
         self.hidden_bias_pump.apply_bias(
             self.substrate.hidden_bias, h_bits, positive=False
         )
+        self.substrate.invalidate_effective_weights()
+
+    # ------------------------------------------------------------------ #
+    # Streaming fast path (chunked kernel behind :meth:`run`)
+    # ------------------------------------------------------------------ #
+    def _positive_step_fast(self, clamped_row: np.ndarray, v_bits: np.ndarray) -> None:
+        """Trusted positive phase: ``clamped_row`` is already DTC-converted and
+        ``v_bits`` pre-drawn, so only the settle and the pump updates remain."""
+        hidden = self.substrate._sample_hidden_trusted(clamped_row)
+        h_bits = hidden[0]
+        self.weight_pump.apply_sample(self.substrate.weights, v_bits, h_bits, positive=True)
+        self.visible_bias_pump.apply_bias_sample(
+            self.substrate.visible_bias, v_bits, positive=True
+        )
+        self.hidden_bias_pump.apply_bias_sample(
+            self.substrate.hidden_bias, h_bits, positive=True
+        )
+        self.substrate.invalidate_effective_weights()
+
+    def _negative_step_fast(self) -> None:
+        """Trusted negative phase: legacy semantics minus per-step validation."""
+        index = self._particle_cursor % self.config.n_particles
+        self._particle_cursor += 1
+        hidden_init = self._particles[index : index + 1]
+        visible, hidden = self.substrate.gibbs_chain(hidden_init, self.config.anneal_steps)
+        self._particles[index] = hidden[0]
+
+        v_bits = visible[0]
+        h_bits = hidden[0]
+        self.weight_pump.apply_sample(self.substrate.weights, v_bits, h_bits, positive=False)
+        self.visible_bias_pump.apply_bias_sample(
+            self.substrate.visible_bias, v_bits, positive=False
+        )
+        self.hidden_bias_pump.apply_bias_sample(
+            self.substrate.hidden_bias, h_bits, positive=False
+        )
+        self.substrate.invalidate_effective_weights()
+
+    def _stream_chunk(self, chunk: np.ndarray) -> None:
+        """Stream one chunk of samples through the sequential learning loop.
+
+        The clamp/DTC conversion and the positive-phase Bernoulli gating
+        draws are batched over the whole chunk (both are elementwise and
+        weight-independent, and the gating draws are the only consumers of
+        the machine's stream inside the loop, so a single ``(chunk, m)`` draw
+        reproduces the per-sample draws exactly).  The settles and
+        charge-pump updates stay strictly sequential, preserving the paper's
+        mid-step-update semantics: sample ``i``'s positive phase lands before
+        its negative phase, which lands before sample ``i+1`` is seen.
+        """
+        clamped = self.substrate.clamp_visible(chunk)
+        v_bits_all = (
+            self._rng.random(clamped.shape) < np.clip(clamped, 0.0, 1.0)
+        ).astype(float)
+        self.host.record_sample_streamed(chunk.shape[0])
+        for i in range(chunk.shape[0]):
+            self._positive_step_fast(clamped[i : i + 1], v_bits_all[i])
+            self._negative_step_fast()
 
     def learn_sample(self, sample: np.ndarray) -> None:
         """One complete learning step (Eq. 12): positive then negative phase.
@@ -263,8 +327,22 @@ class BoltzmannGradientFollower:
         self._positive_step(sample)
         self._negative_step()
 
-    def run(self, data: np.ndarray, *, epochs: int = 1, shuffle: bool = True) -> None:
-        """Operation step 6: stream the training set for ``epochs`` passes."""
+    def run(
+        self,
+        data: np.ndarray,
+        *,
+        epochs: int = 1,
+        shuffle: bool = True,
+        chunk_size: int = 64,
+    ) -> None:
+        """Operation step 6: stream the training set for ``epochs`` passes.
+
+        On the fast path the stream is processed in chunks of ``chunk_size``
+        samples: clamp/DTC conversion and Bernoulli gating draws are batched
+        per chunk while the learning itself stays strictly sequential (see
+        :meth:`_stream_chunk`), reproducing the legacy per-sample loop
+        bit-for-bit under a fixed seed.
+        """
         data = check_array(data, name="data", ndim=2)
         if data.shape[1] != self.n_visible:
             raise ValidationError(
@@ -272,10 +350,24 @@ class BoltzmannGradientFollower:
             )
         if epochs < 1:
             raise ValidationError(f"epochs must be >= 1, got {epochs}")
+        if chunk_size < 1:
+            raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+        dtc = self.substrate.input_dtc
+        # A DTC with code-dependent noise draws from its own stream per
+        # conversion, so batching would reorder those draws; fall back to the
+        # per-sample loop there to keep seeded runs reproducible.
+        fast = self.fast_path and (dtc is None or dtc.nonlinearity_rms == 0.0)
+        if fast and self._particles is None:
+            raise ValidationError("initialize must be called before run")
+        n = data.shape[0]
         for _ in range(epochs):
-            order = self._rng.permutation(data.shape[0]) if shuffle else np.arange(data.shape[0])
-            for idx in order:
-                self.learn_sample(data[idx])
+            order = self._rng.permutation(n) if shuffle else np.arange(n)
+            if fast:
+                for start in range(0, n, chunk_size):
+                    self._stream_chunk(data[order[start : start + chunk_size]])
+            else:
+                for idx in order:
+                    self.learn_sample(data[idx])
 
     def read_out(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Final step: ADC readout of the trained weights and biases."""
@@ -313,6 +405,7 @@ class BGFTrainer:
         noise_config: Optional[NoiseConfig] = None,
         rng: SeedLike = None,
         callback=None,
+        fast_path: bool = True,
     ):
         check_positive(learning_rate, name="learning_rate")
         if reference_batch_size < 1:
@@ -325,6 +418,7 @@ class BGFTrainer:
         self.noise_config = noise_config
         self._rng = as_rng(rng)
         self.callback = callback
+        self.fast_path = bool(fast_path)
         self.machine: Optional[BoltzmannGradientFollower] = None
 
     def _ensure_machine(self, rbm: BernoulliRBM) -> BoltzmannGradientFollower:
@@ -338,6 +432,7 @@ class BGFTrainer:
                 config=self.config,
                 noise_config=self.noise_config,
                 rng=self._rng,
+                fast_path=self.fast_path,
             )
         return self.machine
 

@@ -56,6 +56,12 @@ class BipartiteIsingSubstrate:
         Static offset spread of the per-node comparators.
     rng:
         Master seed; per-subcircuit streams are spawned from it.
+    fast_path:
+        Use the cached-effective-weight / trusted-sampling kernels (the
+        default).  ``False`` keeps the original per-settle recomputation and
+        per-step validation; results are identical either way (see
+        ``docs/performance.md``), so the flag exists for benchmarking the
+        fast path against the legacy one and for equivalence tests.
     """
 
     def __init__(
@@ -68,6 +74,7 @@ class BipartiteIsingSubstrate:
         input_bits: Optional[int] = 8,
         comparator_offset_rms: float = 0.0,
         rng: SeedLike = None,
+        fast_path: bool = True,
     ):
         if n_visible <= 0 or n_hidden <= 0:
             raise ValidationError(
@@ -86,12 +93,14 @@ class BipartiteIsingSubstrate:
             n_units=self.n_hidden,
             gain_variation_rms=self.noise_config.variation_rms,
             rng=streams[1],
+            reference_impl=not fast_path,
         )
         self.visible_sigmoid = SigmoidUnit(
             gain=sigmoid_gain,
             n_units=self.n_visible,
             gain_variation_rms=self.noise_config.variation_rms,
             rng=streams[2],
+            reference_impl=not fast_path,
         )
         self.hidden_sampler = StochasticNeuronSampler(
             self.n_hidden, comparator_offset_rms=comparator_offset_rms, rng=streams[3]
@@ -106,6 +115,13 @@ class BipartiteIsingSubstrate:
         self.weights = np.zeros((self.n_visible, self.n_hidden))
         self.visible_bias = np.zeros(self.n_visible)
         self.hidden_bias = np.zeros(self.n_hidden)
+
+        self.fast_path = bool(fast_path)
+        self._has_dynamic = self.noise_model.has_dynamic_noise
+        # Cached (effective, effective.T) pair of the variation-scaled
+        # coupling matrix; rebuilt lazily after (re)programming or an
+        # explicit invalidation (the BGF's in-place charge-pump updates).
+        self._eff_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------ #
     # Programming interface (the "Programming Logic" block of Fig. 3)
@@ -126,6 +142,49 @@ class BipartiteIsingSubstrate:
         self.hidden_bias = check_array(
             hidden_bias, name="hidden_bias", shape=(self.n_hidden,)
         ).copy()
+        self._eff_cache = None
+
+    def program_trusted(
+        self,
+        weights: np.ndarray,
+        visible_bias: np.ndarray,
+        hidden_bias: np.ndarray,
+    ) -> None:
+        """Zero-copy programming path for trusted callers (the trainers).
+
+        The arrays are adopted by reference — no validation scan, no defensive
+        copies.  The caller guarantees they are finite float arrays of the
+        right shape and must reprogram (or call
+        :meth:`invalidate_effective_weights`) before sampling again if it
+        mutates them.  :meth:`program` remains the validated public API.
+        """
+        weights = np.asarray(weights, dtype=float)
+        visible_bias = np.asarray(visible_bias, dtype=float)
+        hidden_bias = np.asarray(hidden_bias, dtype=float)
+        if weights.shape != (self.n_visible, self.n_hidden):
+            raise ValidationError(
+                f"weights shape {weights.shape} does not match the "
+                f"({self.n_visible}, {self.n_hidden}) array"
+            )
+        self.weights = weights
+        self.visible_bias = visible_bias
+        self.hidden_bias = hidden_bias
+        self._eff_cache = None
+
+    def invalidate_effective_weights(self) -> None:
+        """Drop the cached effective couplings (after in-place weight edits)."""
+        self._eff_cache = None
+
+    @property
+    def _chain_skip_clamp(self) -> bool:
+        """Whether in-chain binary visibles may skip the DTC re-clamp.
+
+        In-chain visible samples are exactly {0, 1}, on which a noise-free
+        DTC is the identity.  Evaluated per call (not frozen at
+        construction) so swapping in a noisy converter after the fact routes
+        chains back through it.
+        """
+        return self.input_dtc is None or self.input_dtc.nonlinearity_rms == 0.0
 
     def read_parameters(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Read back the programmed parameters (host-visible copies)."""
@@ -146,13 +205,49 @@ class BipartiteIsingSubstrate:
     # ------------------------------------------------------------------ #
     # Conditional sampling (one settle-and-latch)
     # ------------------------------------------------------------------ #
+    def _effective_pair(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(effective, effective.T)`` couplings for this evaluation.
+
+        The static (variation-scaled) part is cached between programmings —
+        in the ideal-variation corner it aliases ``self.weights`` outright,
+        so the cache costs nothing.  Fresh dynamic coupling noise, when
+        configured, is still applied per call, in the same draw order as the
+        legacy per-settle path.
+        """
+        if self._eff_cache is None:
+            static = self.noise_model.static_effective(self.weights)
+            self._eff_cache = (static, static.T)
+        static, static_t = self._eff_cache
+        if self._has_dynamic:
+            effective = self.noise_model.apply_dynamic(static)
+            return effective, effective.T
+        return static, static_t
+
     def _effective_weights(self) -> np.ndarray:
         """Coupling weights as realized by the array for this evaluation."""
+        if self.fast_path:
+            return self._effective_pair()[0]
         return self.noise_model.perturbed_coupling(self.weights)
+
+    def _field(
+        self, state: np.ndarray, coupling: np.ndarray, bias: np.ndarray
+    ) -> np.ndarray:
+        """Fast-path field kernel: summed currents plus (conditional) node
+        noise.  Single source shared by the public field methods and the
+        trusted samplers, so they cannot drift apart."""
+        field = state @ coupling
+        field += bias
+        if self._has_dynamic:
+            scale = max(float(np.std(field)), 1.0)
+            field += self.noise_model.node_noise(field.shape, scale=scale)
+        return field
 
     def hidden_field(self, visible: np.ndarray) -> np.ndarray:
         """Summed column currents seen by the hidden nodes (plus node noise)."""
         visible = np.atleast_2d(np.asarray(visible, dtype=float))
+        if self.fast_path:
+            effective, _ = self._effective_pair()
+            return self._field(visible, effective, self.hidden_bias)
         field = visible @ self._effective_weights() + self.hidden_bias
         scale = max(float(np.std(field)), 1.0)
         return field + self.noise_model.node_noise(field.shape, scale=scale)
@@ -160,6 +255,9 @@ class BipartiteIsingSubstrate:
     def visible_field(self, hidden: np.ndarray) -> np.ndarray:
         """Summed row currents seen by the visible nodes (plus node noise)."""
         hidden = np.atleast_2d(np.asarray(hidden, dtype=float))
+        if self.fast_path:
+            _, effective_t = self._effective_pair()
+            return self._field(hidden, effective_t, self.visible_bias)
         field = hidden @ self._effective_weights().T + self.visible_bias
         scale = max(float(np.std(field)), 1.0)
         return field + self.noise_model.node_noise(field.shape, scale=scale)
@@ -172,14 +270,30 @@ class BipartiteIsingSubstrate:
         """Sigmoid-unit output voltages at the visible nodes."""
         return self.visible_sigmoid(self.visible_field(hidden))
 
+    def _sample_hidden_trusted(self, clamped: np.ndarray) -> np.ndarray:
+        """Trusted settle-and-latch: ``clamped`` is 2-D float, DTC-driven."""
+        effective, _ = self._effective_pair()
+        field = self._field(clamped, effective, self.hidden_bias)
+        return self.hidden_sampler.sample(self.hidden_sigmoid(field), validate=False)
+
+    def _sample_visible_trusted(self, hidden: np.ndarray) -> np.ndarray:
+        """Trusted settle-and-latch: ``hidden`` is a 2-D binary latch state."""
+        _, effective_t = self._effective_pair()
+        field = self._field(hidden, effective_t, self.visible_bias)
+        return self.visible_sampler.sample(self.visible_sigmoid(field), validate=False)
+
     def sample_hidden_given_visible(self, visible: np.ndarray) -> np.ndarray:
         """Clamp the visible nodes and latch one hidden sample."""
         clamped = self.clamp_visible(np.atleast_2d(np.asarray(visible, dtype=float)))
+        if self.fast_path:
+            return self._sample_hidden_trusted(clamped)
         return self.hidden_sampler.sample(self.hidden_probability(clamped))
 
     def sample_visible_given_hidden(self, hidden: np.ndarray) -> np.ndarray:
         """Clamp the hidden nodes and latch one visible sample."""
         hidden = check_binary(np.atleast_2d(np.asarray(hidden, dtype=float)), name="hidden")
+        if self.fast_path:
+            return self._sample_visible_trusted(hidden)
         return self.visible_sampler.sample(self.visible_probability(hidden))
 
     # ------------------------------------------------------------------ #
@@ -199,6 +313,18 @@ class BipartiteIsingSubstrate:
         hidden = check_binary(
             np.atleast_2d(np.asarray(hidden_init, dtype=float)), name="hidden_init"
         )
+        if self.fast_path and self._chain_skip_clamp:
+            # Validation is hoisted: hidden_init was checked once above, and
+            # every in-chain state comes from our own latches (binary by
+            # construction), so the per-step binary checks are skipped.  The
+            # noise-free DTC is the identity on {0, 1} visibles, so the
+            # re-clamp is skipped too — both are value-preserving.
+            visible = self._sample_visible_trusted(hidden)
+            for _ in range(n_steps - 1):
+                hidden = self._sample_hidden_trusted(visible)
+                visible = self._sample_visible_trusted(hidden)
+            hidden = self._sample_hidden_trusted(visible)
+            return visible, hidden
         visible = self.sample_visible_given_hidden(hidden)
         for _ in range(n_steps - 1):
             hidden = self.sample_hidden_given_visible(visible)

@@ -246,6 +246,7 @@ class CDTrainer:
         momentum: float = 0.0,
         rng: SeedLike = None,
         callback: Optional[Callable[[int, BernoulliRBM], None]] = None,
+        fast_path: bool = True,
     ):
         self.learning_rate = check_positive(learning_rate, name="learning_rate")
         if cd_k < 1:
@@ -258,6 +259,7 @@ class CDTrainer:
         self.momentum = check_in_range(momentum, 0.0, 1.0, name="momentum", inclusive=(True, False))
         self._rng = as_rng(rng)
         self.callback = callback
+        self.fast_path = bool(fast_path)
 
     def _gradient(self, rbm: BernoulliRBM, v_pos: np.ndarray):
         """Compute the CD-k gradient estimate for one minibatch.
@@ -309,9 +311,15 @@ class CDTrainer:
             raise ValidationError(f"epochs must be >= 1, got {epochs}")
 
         history = TrainingHistory()
-        vel_w = np.zeros_like(rbm.weights)
-        vel_bv = np.zeros_like(rbm.visible_bias)
-        vel_bh = np.zeros_like(rbm.hidden_bias)
+        # With zero momentum the velocity recurrence collapses to a plain
+        # gradient step (``0 * vel + lr * grad == lr * grad`` exactly), so the
+        # fast path skips the three velocity buffers and their six extra
+        # array operations per minibatch.
+        use_velocity = self.momentum > 0.0 or not self.fast_path
+        if use_velocity:
+            vel_w = np.zeros_like(rbm.weights)
+            vel_bv = np.zeros_like(rbm.visible_bias)
+            vel_bh = np.zeros_like(rbm.hidden_bias)
 
         for epoch in range(epochs):
             for batch in minibatches(
@@ -320,12 +328,17 @@ class CDTrainer:
                 grad_w, grad_bv, grad_bh, _ = self._gradient(rbm, batch)
                 if self.weight_decay:
                     grad_w = grad_w - self.weight_decay * rbm.weights
-                vel_w = self.momentum * vel_w + self.learning_rate * grad_w
-                vel_bv = self.momentum * vel_bv + self.learning_rate * grad_bv
-                vel_bh = self.momentum * vel_bh + self.learning_rate * grad_bh
-                rbm.weights += vel_w
-                rbm.visible_bias += vel_bv
-                rbm.hidden_bias += vel_bh
+                if use_velocity:
+                    vel_w = self.momentum * vel_w + self.learning_rate * grad_w
+                    vel_bv = self.momentum * vel_bv + self.learning_rate * grad_bv
+                    vel_bh = self.momentum * vel_bh + self.learning_rate * grad_bh
+                    rbm.weights += vel_w
+                    rbm.visible_bias += vel_bv
+                    rbm.hidden_bias += vel_bh
+                else:
+                    rbm.weights += self.learning_rate * grad_w
+                    rbm.visible_bias += self.learning_rate * grad_bv
+                    rbm.hidden_bias += self.learning_rate * grad_bh
 
             recon = rbm.reconstruct(data)
             recon_error = float(np.mean((data - recon) ** 2))

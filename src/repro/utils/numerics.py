@@ -18,7 +18,32 @@ from repro.utils.rng import SeedLike, as_rng
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically-stable logistic function ``1 / (1 + exp(-x))``."""
+    """Numerically-stable logistic function ``1 / (1 + exp(-x))``.
+
+    Branch-free kernel: with ``z = exp(-|x|)`` (which never overflows) the
+    positive branch is ``1 / (1 + z)`` and the negative branch ``z / (1 + z)``,
+    so one exponential and one division cover both.  Bit-identical to the
+    two-pass masked formulation (:func:`sigmoid_reference`) because each
+    element goes through the exact same floating-point operations.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 0:
+        z = np.exp(-np.abs(x))
+        return np.where(x >= 0, 1.0, z) / (1.0 + z)
+    z = np.abs(x)
+    np.negative(z, out=z)
+    np.exp(z, out=z)
+    num = np.where(x >= 0, 1.0, z)
+    z += 1.0
+    return np.divide(num, z, out=num)
+
+
+def sigmoid_reference(x: np.ndarray) -> np.ndarray:
+    """Two-pass masked logistic kept as the legacy reference implementation.
+
+    The fast-path equivalence tests pin :func:`sigmoid` against this
+    formulation; it is not used on any hot path.
+    """
     x = np.asarray(x, dtype=float)
     out = np.empty_like(x, dtype=float)
     pos = x >= 0
@@ -35,7 +60,25 @@ def log_sigmoid(x: np.ndarray) -> np.ndarray:
 
 
 def log1pexp(x: np.ndarray) -> np.ndarray:
-    """``log(1 + exp(x))`` (softplus) computed without overflow."""
+    """``log(1 + exp(x))`` (softplus) computed without overflow.
+
+    Branch-free kernel: ``log1p(exp(-|x|)) + max(x, 0)`` — the same
+    floating-point operations per element as the masked two-pass form
+    (:func:`log1pexp_reference`), so the results are bit-identical.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 0:
+        return np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0.0)
+    z = np.abs(x)
+    np.negative(z, out=z)
+    np.exp(z, out=z)
+    np.log1p(z, out=z)
+    z += np.maximum(x, 0.0)
+    return z
+
+
+def log1pexp_reference(x: np.ndarray) -> np.ndarray:
+    """Two-pass masked softplus kept as the legacy reference implementation."""
     x = np.asarray(x, dtype=float)
     out = np.empty_like(x, dtype=float)
     small = x <= 0
