@@ -1,8 +1,16 @@
 """Diff two BENCH_*.json files and fail on kernel regressions.
 
-Compares the fast-path medians of every kernel present in both files and
-exits nonzero when any kernel slowed down by more than the threshold
-(default 20%), so CI can gate perf the same way it gates correctness.
+Compares every kernel present in both files and exits nonzero when any
+kernel regressed by more than the threshold (default 20%), so CI can gate
+perf the same way it gates correctness.  Two metrics:
+
+* ``fast_median_s`` (default) — absolute fast-path median seconds; right
+  when baseline and candidate were timed on the same machine (local
+  ``make bench-compare``).
+* ``speedup`` — the fast-vs-legacy ratio measured *within* each run, which
+  cancels the machine's absolute speed; right when the baseline JSON comes
+  from different hardware (the CI gate, ``make bench-compare-ci``).  A
+  regression is a drop of the speedup by more than the threshold.
 """
 
 from __future__ import annotations
@@ -15,9 +23,11 @@ from typing import Dict, List, Optional, Tuple
 
 
 def compare_benchmarks(
-    old: Dict, new: Dict, threshold: float = 0.2
+    old: Dict, new: Dict, threshold: float = 0.2, metric: str = "fast_median_s"
 ) -> Tuple[List[str], List[str]]:
     """Return ``(report_lines, regressions)`` for two results dictionaries."""
+    if metric not in ("fast_median_s", "speedup"):
+        raise ValueError(f"unknown metric {metric!r}")
     report: List[str] = []
     regressions: List[str] = []
     old_kernels = old.get("kernels", {})
@@ -27,17 +37,35 @@ def compare_benchmarks(
         raise ValueError("the two benchmark files share no kernels")
     width = max(len(name) for name in shared)
     for name in shared:
-        old_s = float(old_kernels[name]["fast_median_s"])
-        new_s = float(new_kernels[name]["fast_median_s"])
-        ratio = new_s / old_s if old_s > 0 else float("inf")
+        if metric not in old_kernels[name] or metric not in new_kernels[name]:
+            raise ValueError(
+                f"kernel {name!r} has no {metric!r} entry (baseline predates "
+                "this metric? regenerate it with `make bench`)"
+            )
+        old_value = float(old_kernels[name][metric])
+        new_value = float(new_kernels[name][metric])
+        if metric == "fast_median_s":
+            # Lower is better: regression when the new median grew.
+            ratio = new_value / old_value if old_value > 0 else float("inf")
+            row = (
+                f"{name:<{width}}  old={old_value * 1e3:8.2f}ms"
+                f"  new={new_value * 1e3:8.2f}ms  ratio={ratio:5.2f}"
+            )
+            regressed = ratio > 1.0 + threshold
+        else:
+            # Higher is better: regression when the speedup *dropped* by
+            # more than the threshold fraction (new < (1-threshold)*old).
+            drop = 1.0 - new_value / old_value if old_value > 0 else -float("inf")
+            row = (
+                f"{name:<{width}}  old={old_value:6.2f}x"
+                f"  new={new_value:6.2f}x  drop={drop:+5.0%}"
+            )
+            regressed = drop > threshold
         flag = ""
-        if ratio > 1.0 + threshold:
+        if regressed:
             flag = "  << REGRESSION"
             regressions.append(name)
-        report.append(
-            f"{name:<{width}}  old={old_s * 1e3:8.2f}ms  new={new_s * 1e3:8.2f}ms"
-            f"  ratio={ratio:5.2f}{flag}"
-        )
+        report.append(row + flag)
     only_old = sorted(set(old_kernels) - set(new_kernels))
     only_new = sorted(set(new_kernels) - set(old_kernels))
     if only_old:
@@ -55,7 +83,17 @@ def main(argv: Optional[list] = None) -> int:
         "--threshold",
         type=float,
         default=0.2,
-        help="allowed fractional slowdown per kernel before failing (default 0.2)",
+        help="allowed fractional regression per kernel before failing (default 0.2)",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=("fast_median_s", "speedup"),
+        default="fast_median_s",
+        help=(
+            "what to gate on: absolute fast-path medians (same-machine "
+            "baselines) or the machine-independent fast/legacy speedup "
+            "(cross-machine baselines, e.g. CI)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -66,7 +104,9 @@ def main(argv: Optional[list] = None) -> int:
         print(f"error: cannot read benchmark file: {exc}", file=sys.stderr)
         return 2
     try:
-        report, regressions = compare_benchmarks(old, new, threshold=args.threshold)
+        report, regressions = compare_benchmarks(
+            old, new, threshold=args.threshold, metric=args.metric
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

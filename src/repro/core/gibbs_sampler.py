@@ -115,6 +115,35 @@ class GibbsSamplerMachine:
         self.host.record_sample_read(2)
         return v_neg, h_neg
 
+    def negative_phase_chains(
+        self, chains_h: np.ndarray, cd_k: int, *, batch_chains: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance ``p`` independent negative chains by ``cd_k`` steps each.
+
+        ``batch_chains=True`` (the default) evolves all chains together
+        through the substrate's chain-parallel :meth:`~repro.ising.bipartite.
+        BipartiteIsingSubstrate.settle_batch` kernel — every settle is one
+        batched matmul across the whole chain block.  ``batch_chains=False``
+        advances the chains one at a time through the single-chain fast path
+        instead; it draws the same per-chain noise from a different stream
+        order, so the two modes agree in distribution (pinned by
+        ``tests/property/test_chain_statistics.py``) but not bit-for-bit
+        when ``p > 1``.  The sequential mode exists for benchmarking the
+        chain-parallel kernel against repeated single-chain settles.
+        """
+        chains_h = np.atleast_2d(np.asarray(chains_h, dtype=float))
+        if batch_chains or chains_h.shape[0] == 1:
+            v_neg, h_neg = self.substrate.settle_batch(chains_h, cd_k)
+        else:
+            pairs = [
+                self.substrate.gibbs_chain(chains_h[i : i + 1], cd_k)
+                for i in range(chains_h.shape[0])
+            ]
+            v_neg = np.vstack([pair[0] for pair in pairs])
+            h_neg = np.vstack([pair[1] for pair in pairs])
+        self.host.record_sample_read(2)
+        return v_neg, h_neg
+
 
 class GibbsSamplerTrainer:
     """CD-k training with the sampling offloaded to a :class:`GibbsSamplerMachine`.
@@ -123,12 +152,45 @@ class GibbsSamplerTrainer:
     ----------
     learning_rate, cd_k, batch_size, weight_decay:
         As in the software :class:`~repro.rbm.rbm.CDTrainer`.
+    chains:
+        Number of independent negative-phase chains ``p``.  The default of 1
+        (with ``persistent=False``) keeps the conventional CD behavior where
+        the minibatch's own positive samples seed the negative chains —
+        bit-identical to the pre-multi-chain implementation under a fixed
+        seed.  With ``chains=p > 1`` the negative statistics come from ``p``
+        chains evolved in parallel through the substrate's chain-parallel
+        ``settle_batch`` kernel.
+    persistent:
+        PCD-style persistence (Tieleman 2008): the ``p`` chains are
+        initialized once and carried across minibatches (and, with
+        ``reset_chains=False`` at ``train`` time, across ``train`` calls)
+        instead of being re-seeded from the data each minibatch.  Because
+        persistence changes the sampling *statistics*, this mode is pinned by
+        the distribution-level tests in
+        ``tests/property/test_chain_statistics.py`` rather than by seed.
+    chain_batch:
+        ``True`` (default) advances all ``p`` chains as single batched
+        matmuls; ``False`` advances them one at a time through the
+        single-chain fast path (the benchmarking baseline for the
+        chain-parallel kernel).  Statistically equivalent; bit-identical
+        only for ``p = 1``.
     machine:
         Optional pre-built machine (useful to share one across layers or to
         configure its noise); when omitted, a machine matching the RBM's
         shape is created lazily at ``train`` time.
     noise_config:
         Noise operating point used when the machine is created lazily.
+
+    RNG stream order
+    ----------------
+    The trainer's generator ``rng`` is consumed in a documented, fixed
+    order so seeded runs are reproducible and component draws cannot alias:
+    (1) when persistent chains are (re)initialized at ``train`` entry, one
+    ``(chains, n_hidden)`` uniform block; (2) one shuffle permutation per
+    epoch.  All sampling noise inside the substrate comes from the machine's
+    own spawned streams — nothing here touches NumPy's global RNG, and no
+    draw order depends on ``chains`` except the single documented init
+    block.
     """
 
     def __init__(
@@ -137,6 +199,9 @@ class GibbsSamplerTrainer:
         cd_k: int = 1,
         batch_size: int = 10,
         *,
+        chains: int = 1,
+        persistent: bool = False,
+        chain_batch: bool = True,
         weight_decay: float = 0.0,
         machine: Optional[GibbsSamplerMachine] = None,
         noise_config: Optional[NoiseConfig] = None,
@@ -149,14 +214,25 @@ class GibbsSamplerTrainer:
             raise ValidationError(f"cd_k must be >= 1, got {cd_k}")
         if batch_size < 1:
             raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
+        if chains < 1:
+            raise ValidationError(f"chains must be >= 1, got {chains}")
         self.cd_k = int(cd_k)
         self.batch_size = int(batch_size)
+        self.chains = int(chains)
+        self.persistent = bool(persistent)
+        self.chain_batch = bool(chain_batch)
         self.weight_decay = check_positive(weight_decay, name="weight_decay", strict=False)
         self.machine = machine
         self.noise_config = noise_config
         self._rng = as_rng(rng)
         self.callback = callback
         self.fast_path = bool(fast_path)
+        self._chains_h: Optional[np.ndarray] = None
+
+    @property
+    def chain_states(self) -> Optional[np.ndarray]:
+        """Current hidden states of the persistent chains (copies), or None."""
+        return None if self._chains_h is None else self._chains_h.copy()
 
     def _ensure_machine(self, rbm: BernoulliRBM) -> GibbsSamplerMachine:
         if self.machine is None or (
@@ -179,8 +255,14 @@ class GibbsSamplerTrainer:
         *,
         epochs: int = 10,
         shuffle: bool = True,
+        reset_chains: bool = True,
     ) -> TrainingHistory:
-        """Train ``rbm`` in place, using the Ising substrate for sampling."""
+        """Train ``rbm`` in place, using the Ising substrate for sampling.
+
+        ``reset_chains=False`` keeps persistent chains from a previous
+        ``train`` call alive (when shapes still match), so stacked training
+        schedules can continue the same fantasy particles.
+        """
         data = check_array(data, name="data", ndim=2)
         if data.shape[1] != rbm.n_visible:
             raise ValidationError(
@@ -190,6 +272,22 @@ class GibbsSamplerTrainer:
         if epochs < 1:
             raise ValidationError(f"epochs must be >= 1, got {epochs}")
         machine = self._ensure_machine(rbm)
+
+        # Multi-chain / PCD negative-phase engine.  The (chains=1,
+        # persistent=False) default takes the classic code path below, which
+        # is bit-identical to the single-chain implementation.
+        chain_engine = self.persistent or self.chains > 1
+        if self.persistent:
+            if (
+                reset_chains
+                or self._chains_h is None
+                or self._chains_h.shape != (self.chains, rbm.n_hidden)
+            ):
+                # Documented RNG order: this (chains x n_hidden) block is the
+                # first draw from the trainer stream in a train() call.
+                self._chains_h = (
+                    self._rng.random((self.chains, rbm.n_hidden)) < 0.5
+                ).astype(float)
 
         # The trainer owns both the RBM and the machine, so reprogramming on
         # every minibatch can adopt the RBM's arrays by reference instead of
@@ -210,13 +308,32 @@ class GibbsSamplerTrainer:
                 program(rbm)
                 # Steps 3-6: positive and negative phases on the substrate.
                 h_pos = machine.positive_phase(batch)
-                v_neg, h_neg = machine.negative_phase(h_pos, self.cd_k)
+                if not chain_engine:
+                    v_neg, h_neg = machine.negative_phase(h_pos, self.cd_k)
+                elif self.persistent:
+                    v_neg, h_neg = machine.negative_phase_chains(
+                        self._chains_h, self.cd_k, batch_chains=self.chain_batch
+                    )
+                    self._chains_h = h_neg
+                else:
+                    # Fresh chains each minibatch, seeded from the positive
+                    # samples (rows cycled when p exceeds the batch) — CD
+                    # statistics with a decoupled chain count.
+                    seed_rows = np.resize(np.arange(batch.shape[0]), self.chains)
+                    v_neg, h_neg = machine.negative_phase_chains(
+                        h_pos[seed_rows], self.cd_k, batch_chains=self.chain_batch
+                    )
 
                 # Step 8: host computes the gradient from the read-out samples.
                 n = batch.shape[0]
-                grad_w = (batch.T @ h_pos - v_neg.T @ h_neg) / n
-                grad_bv = np.mean(batch - v_neg, axis=0)
-                grad_bh = np.mean(h_pos - h_neg, axis=0)
+                if chain_engine:
+                    grad_w = batch.T @ h_pos / n - v_neg.T @ h_neg / v_neg.shape[0]
+                    grad_bv = np.mean(batch, axis=0) - np.mean(v_neg, axis=0)
+                    grad_bh = np.mean(h_pos, axis=0) - np.mean(h_neg, axis=0)
+                else:
+                    grad_w = (batch.T @ h_pos - v_neg.T @ h_neg) / n
+                    grad_bv = np.mean(batch - v_neg, axis=0)
+                    grad_bh = np.mean(h_pos - h_neg, axis=0)
                 if self.weight_decay:
                     grad_w = grad_w - self.weight_decay * rbm.weights
                 rbm.weights += self.learning_rate * grad_w

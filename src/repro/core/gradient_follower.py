@@ -203,6 +203,21 @@ class BoltzmannGradientFollower:
         ).astype(float)
         self._particle_cursor = 0
 
+    def refresh_particles(self, n_steps: int = 1) -> None:
+        """Advance *all* ``p`` persistent particles through one chain-parallel
+        settle batch (``settle_batch``), without touching the weights.
+
+        The learning loop itself is strictly sequential (one particle per
+        sample, mid-step updates), but decorrelating the particle pool —
+        after initialization, or between epochs — has no such constraint, so
+        it can use the substrate's batched kernel: ``n_steps`` settles of the
+        whole ``(p, n)`` block as single matmuls.
+        """
+        if self._particles is None:
+            raise ValidationError("initialize must be called before refresh_particles")
+        _, hidden = self.substrate.settle_batch(self._particles, n_steps)
+        self._particles = hidden
+
     # ------------------------------------------------------------------ #
     def _positive_step(self, sample: np.ndarray) -> None:
         """Operation step 3: clamp data, settle hidden, increment W by <v h>_s+.
@@ -391,6 +406,11 @@ class BGFTrainer:
         ``reference_batch_size`` as ``learning_rate / reference_batch_size``
         — the paper's guidance that a minibatch of 1 needs a roughly
         ``batch_size``-times smaller step.
+    particle_burn_in:
+        Chain-parallel settle steps applied to the whole persistent-particle
+        pool right after initialization (via
+        :meth:`BoltzmannGradientFollower.refresh_particles`).  0 (default)
+        skips the refresh and reproduces the original behavior exactly.
     epochs_per_call:
         Ignored; present only for signature compatibility notes.  The epoch
         count is passed to :meth:`train` like the other trainers.
@@ -401,6 +421,7 @@ class BGFTrainer:
         learning_rate: float = 0.1,
         *,
         reference_batch_size: int = 50,
+        particle_burn_in: int = 0,
         config: Optional[BGFConfig] = None,
         noise_config: Optional[NoiseConfig] = None,
         rng: SeedLike = None,
@@ -412,9 +433,14 @@ class BGFTrainer:
             raise ValidationError(
                 f"reference_batch_size must be >= 1, got {reference_batch_size}"
             )
+        if particle_burn_in < 0:
+            raise ValidationError(
+                f"particle_burn_in must be >= 0, got {particle_burn_in}"
+            )
         if config is None:
             config = BGFConfig(step_size=learning_rate / reference_batch_size)
         self.config = config
+        self.particle_burn_in = int(particle_burn_in)
         self.noise_config = noise_config
         self._rng = as_rng(rng)
         self.callback = callback
@@ -463,6 +489,11 @@ class BGFTrainer:
             raise ValidationError(f"epochs must be >= 1, got {epochs}")
         machine = self._ensure_machine(rbm)
         machine.initialize(rbm.weights, rbm.visible_bias, rbm.hidden_bias)
+        if self.particle_burn_in:
+            # Decorrelate the freshly-drawn particle pool before learning;
+            # the default of 0 keeps runs bit-identical to the no-burn-in
+            # implementation (the refresh draws from the substrate streams).
+            machine.refresh_particles(self.particle_burn_in)
 
         history = TrainingHistory()
         for epoch in range(epochs):

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.gibbs_sampler import GibbsSamplerTrainer
 from repro.core.gradient_follower import BGFTrainer
 from repro.datasets.registry import load_benchmark_dataset, get_benchmark
 from repro.experiments.base import ExperimentResult, format_table
@@ -48,13 +49,18 @@ def run_figure7(
     batch_size: int = 10,
     ais_chains: int = 32,
     ais_betas: int = 120,
+    gs_chains: Optional[int] = None,
     seed: int = 0,
 ) -> ExperimentResult:
     """Train with CD-1, CD-10 and BGF and record log-probability trajectories.
 
     Each row of the result holds one ``(dataset, method, epoch)`` point with
     its estimated average log probability, which is exactly the data behind
-    the paper's Figure-7 curves.
+    the paper's Figure-7 curves.  ``gs_chains=p`` additionally records a
+    ``gs-pcd{p}`` trajectory: the Gibbs-sampler architecture trained with
+    ``p`` persistent negative chains advanced through the substrate's
+    chain-parallel kernel (the multi-chain engine's knobs surfaced at the
+    experiment layer); ``None`` (default) keeps the paper's three methods.
     """
     if epochs < 2:
         raise ValidationError("Figure 7 needs at least 2 epochs to show a trajectory")
@@ -68,7 +74,10 @@ def run_figure7(
         )
         if data.shape[1] != n_visible:
             n_visible = data.shape[1]
-        rngs = spawn_rngs(seed + dataset_index, 4)
+        # Spawning 5 streams keeps the first four identical to the historical
+        # 4-stream spawn, so adding the optional GS method never perturbs the
+        # cd1/cd10/BGF trajectories for a given seed.
+        rngs = spawn_rngs(seed + dataset_index, 5)
         base_rbm = BernoulliRBM(n_visible, n_hidden, rng=rngs[0])
         base_rbm.init_visible_bias_from_data(data)
         initial_logprob = average_log_probability(
@@ -80,6 +89,15 @@ def run_figure7(
             "cd10": CDTrainer(learning_rate, cd_k=10, batch_size=batch_size, rng=rngs[2]),
             "BGF": BGFTrainer(learning_rate, reference_batch_size=batch_size, rng=rngs[3]),
         }
+        if gs_chains:
+            methods[f"gs-pcd{gs_chains}"] = GibbsSamplerTrainer(
+                learning_rate,
+                cd_k=1,
+                batch_size=batch_size,
+                chains=gs_chains,
+                persistent=True,
+                rng=rngs[4],
+            )
         for method_name, trainer in methods.items():
             # Epoch 0 is the shared untrained starting point; epochs 1..E are
             # recorded by the per-epoch callback during training.
@@ -110,6 +128,7 @@ def run_figure7(
             "scale": scale,
             "epochs": epochs,
             "learning_rate": learning_rate,
+            "gs_chains": gs_chains,
             "seed": seed,
         },
     )

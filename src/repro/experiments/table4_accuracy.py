@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.gibbs_sampler import GibbsSamplerTrainer
 from repro.core.gradient_follower import BGFTrainer
 from repro.datasets.registry import get_benchmark, load_benchmark_dataset
 from repro.eval.anomaly import RBMAnomalyDetector
@@ -39,12 +40,25 @@ TABLE4_IMAGE_BENCHMARKS: Sequence[str] = (
 )
 
 
-def _make_trainer(method: str, *, learning_rate: float, batch_size: int, rng):
-    """Build the per-layer trainer for ``method`` ('cd10' or 'bgf')."""
+def _make_trainer(
+    method: str, *, learning_rate: float, batch_size: int, rng, gs_chains: int = 8
+):
+    """Build the per-layer trainer for ``method`` ('cd10', 'bgf' or 'gs')."""
     if method == "cd10":
         return CDTrainer(learning_rate, cd_k=10, batch_size=batch_size, rng=rng)
     if method == "bgf":
         return BGFTrainer(learning_rate, reference_batch_size=batch_size, rng=rng)
+    if method == "gs":
+        # Gibbs-sampler architecture with the multi-chain PCD negative phase
+        # (persistent chains advanced through the chain-parallel kernel).
+        return GibbsSamplerTrainer(
+            learning_rate,
+            cd_k=1,
+            batch_size=batch_size,
+            chains=gs_chains,
+            persistent=True,
+            rng=rng,
+        )
     raise ValueError(f"unknown method {method!r}")
 
 
@@ -58,14 +72,17 @@ def _standardize(train: np.ndarray, test: np.ndarray) -> tuple:
 
 def _rbm_feature_accuracy(
     dataset, n_hidden: int, method: str, *, epochs: int, learning_rate: float,
-    batch_size: int, seed: int,
+    batch_size: int, seed: int, gs_chains: int = 8,
 ) -> float:
     """Accuracy of a logistic head on single-RBM features trained by ``method``."""
     rngs = spawn_rngs(seed, 3)
     data = dataset.binarized()
     rbm = BernoulliRBM(data.n_features, n_hidden, rng=rngs[0])
     rbm.init_visible_bias_from_data(data.train_x)
-    trainer = _make_trainer(method, learning_rate=learning_rate, batch_size=batch_size, rng=rngs[1])
+    trainer = _make_trainer(
+        method, learning_rate=learning_rate, batch_size=batch_size, rng=rngs[1],
+        gs_chains=gs_chains,
+    )
     trainer.train(rbm, data.train_x, epochs=epochs)
     features_train, features_test = _standardize(
         rbm.transform(data.train_x), rbm.transform(data.test_x)
@@ -110,20 +127,29 @@ def run_table4(
     epochs: int = 20,
     learning_rate: float = 0.2,
     batch_size: int = 10,
+    gs_chains: Optional[int] = None,
     seed: int = 0,
 ) -> ExperimentResult:
-    """Regenerate Table 4: quality metric per benchmark for cd-10 and BGF."""
+    """Regenerate Table 4: quality metric per benchmark for cd-10 and BGF.
+
+    ``gs_chains=p`` adds an ``rbm_gs`` column to the image rows: features
+    trained by the Gibbs-sampler architecture with ``p`` persistent
+    negative chains (the multi-chain engine); ``None`` keeps the paper's
+    two-method table.
+    """
+    rbm_methods = ("cd10", "bgf") + (("gs",) if gs_chains else ())
     rows: List[Dict[str, object]] = []
     for index, name in enumerate(image_benchmarks):
         cfg = get_benchmark(name)
         dataset = load_benchmark_dataset(name, scale=scale, seed=seed + index)
         n_hidden = cfg.rbm_shape[1] if scale == "paper" else cfg.ci_rbm_shape[1]
         row: Dict[str, object] = {"benchmark": name, "metric": "accuracy"}
-        for method in ("cd10", "bgf"):
+        for method in rbm_methods:
             row[f"rbm_{method}"] = _rbm_feature_accuracy(
                 dataset, n_hidden, method,
                 epochs=epochs, learning_rate=learning_rate,
                 batch_size=batch_size, seed=seed + index,
+                gs_chains=gs_chains or 8,
             )
         if include_dbn and cfg.has_dbn:
             layers = (
@@ -189,6 +215,7 @@ def run_table4(
             "scale": scale,
             "epochs": epochs,
             "learning_rate": learning_rate,
+            "gs_chains": gs_chains,
             "seed": seed,
         },
     )

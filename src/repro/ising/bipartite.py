@@ -299,14 +299,29 @@ class BipartiteIsingSubstrate:
     # ------------------------------------------------------------------ #
     # Chains (the hardware "random walk")
     # ------------------------------------------------------------------ #
-    def gibbs_chain(
+    def settle_batch(
         self, hidden_init: np.ndarray, n_steps: int
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Run ``n_steps`` alternating settles starting from a hidden state.
+        """Evolve ``p`` independent chains in parallel for ``n_steps`` settles.
 
-        Mirrors the negative phase of Algorithm 1 / the annealing trajectory
-        of the BGF's negative sample: hidden -> visible -> hidden, repeated.
-        Returns the final ``(visible, hidden)`` samples.
+        The chain-parallel kernel: ``hidden_init`` holds one chain per row,
+        and every alternating settle evaluates *all* chains as a single
+        batched matmul against the coupling array — the software analogue of
+        the hardware's per-node parallelism (each chain occupies its own
+        replica of the node array, and all replicas settle simultaneously).
+        Validation of ``hidden_init`` happens once, up front; in-chain states
+        come from the substrate's own latches and are trusted.
+
+        Stream-order note: per step the samplers draw one ``(p, n)`` noise
+        block covering all chains (chain-major within the step).  That is a
+        *different* — though statistically equivalent — draw order than
+        advancing the same ``p`` chains one at a time through ``p`` separate
+        calls, so multi-chain results are pinned by the distribution-level
+        tests in ``tests/property/test_chain_statistics.py`` rather than by
+        seed.  With a single row the two orders coincide bit-for-bit.
+
+        Returns the final ``(visible, hidden)`` samples, shaped
+        ``(p, n_visible)`` and ``(p, n_hidden)``.
         """
         if n_steps < 1:
             raise ValidationError(f"n_steps must be >= 1, got {n_steps}")
@@ -331,6 +346,19 @@ class BipartiteIsingSubstrate:
             visible = self.sample_visible_given_hidden(hidden)
         hidden = self.sample_hidden_given_visible(visible)
         return visible, hidden
+
+    def gibbs_chain(
+        self, hidden_init: np.ndarray, n_steps: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run ``n_steps`` alternating settles starting from a hidden state.
+
+        Mirrors the negative phase of Algorithm 1 / the annealing trajectory
+        of the BGF's negative sample: hidden -> visible -> hidden, repeated.
+        Delegates to :meth:`settle_batch` (a chain is the single- or
+        multi-row case of the chain-parallel kernel) and returns the final
+        ``(visible, hidden)`` samples.
+        """
+        return self.settle_batch(hidden_init, n_steps)
 
     def reconstruct(self, visible: np.ndarray) -> np.ndarray:
         """Mean-field reconstruction through the analog sigmoid units."""

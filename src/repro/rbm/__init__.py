@@ -30,6 +30,7 @@ from repro.rbm.partition import (
     exact_visible_distribution,
     exact_joint_distribution,
     exact_log_likelihood,
+    exact_model_moments,
 )
 from repro.rbm.ais import AISEstimator, estimate_log_partition, average_log_probability
 from repro.rbm.dbn import DeepBeliefNetwork
@@ -50,6 +51,7 @@ __all__ = [
     "exact_visible_distribution",
     "exact_joint_distribution",
     "exact_log_likelihood",
+    "exact_model_moments",
     "AISEstimator",
     "estimate_log_partition",
     "average_log_probability",

@@ -98,6 +98,25 @@ def exact_joint_distribution(rbm: "BernoulliRBM") -> np.ndarray:
     return np.exp(log_unnorm - log_z)
 
 
+def exact_model_moments(
+    rbm: "BernoulliRBM",
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Exact first moments ``(E[v], E[h], E[v h^T])`` under the model.
+
+    Ground truth for the multi-chain statistical tests: a correct sampler's
+    long-run chain averages must converge to these expectations, whatever
+    the chain layout (single, batched, persistent).  Requires
+    ``n_visible + n_hidden <= MAX_ENUMERATION_BITS``.
+    """
+    joint = exact_joint_distribution(rbm)
+    v_states = enumerate_states(rbm.n_visible)
+    h_states = enumerate_states(rbm.n_hidden)
+    mean_v = joint.sum(axis=1) @ v_states
+    mean_h = joint.sum(axis=0) @ h_states
+    corr_vh = v_states.T @ joint @ h_states
+    return mean_v, mean_h, corr_vh
+
+
 def exact_log_likelihood(rbm: "BernoulliRBM", data: np.ndarray) -> float:
     """Exact average log likelihood of ``data`` rows under the RBM."""
     data = np.atleast_2d(np.asarray(data, dtype=float))

@@ -33,6 +33,23 @@ class PCDTrainer:
         Gibbs steps applied to each particle per parameter update.
     batch_size:
         Minibatch size for the positive phase.
+    persistent:
+        ``True`` (default) keeps the fantasy particles alive across updates
+        — classic PCD.  ``False`` re-seeds the particles from the current
+        minibatch's rows (cycled when ``n_particles`` exceeds the batch)
+        before every advance, i.e. CD statistics with a decoupled particle
+        count — the software mirror of the Gibbs-sampler trainer's
+        ``persistent`` knob.
+
+    RNG stream order
+    ----------------
+    The trainer's generator is consumed in a fixed order: (1) one
+    ``(n_particles, n_visible)`` uniform block when the particles are
+    (re)initialized at ``train`` entry (persistent mode only); (2) one
+    shuffle permutation per epoch; (3) per update, the particle advance
+    draws one ``(p, n_hidden)`` block then alternating ``(p, n_visible)`` /
+    ``(p, n_hidden)`` blocks per Gibbs step.  All particles share each
+    block, decorrelated by row; nothing touches NumPy's global RNG.
     """
 
     def __init__(
@@ -43,6 +60,7 @@ class PCDTrainer:
         gibbs_steps: int = 1,
         batch_size: int = 10,
         weight_decay: float = 0.0,
+        persistent: bool = True,
         rng: SeedLike = None,
     ):
         self.learning_rate = check_positive(learning_rate, name="learning_rate")
@@ -56,6 +74,7 @@ class PCDTrainer:
         self.gibbs_steps = int(gibbs_steps)
         self.batch_size = int(batch_size)
         self.weight_decay = check_positive(weight_decay, name="weight_decay", strict=False)
+        self.persistent = bool(persistent)
         self._rng = as_rng(rng)
         self._particles_v: Optional[np.ndarray] = None
 
@@ -96,15 +115,23 @@ class PCDTrainer:
             )
         if epochs < 1:
             raise ValidationError(f"epochs must be >= 1, got {epochs}")
-        if reset_particles or self._particles_v is None:
-            self._init_particles(rbm)
-        elif self._particles_v.shape[1] != rbm.n_visible:
-            raise ValidationError("persistent particles do not match the RBM's visible size")
+        if self.persistent:
+            if reset_particles or self._particles_v is None:
+                self._init_particles(rbm)
+            elif self._particles_v.shape[1] != rbm.n_visible:
+                raise ValidationError(
+                    "persistent particles do not match the RBM's visible size"
+                )
 
         history = TrainingHistory()
         for epoch in range(epochs):
             for batch in minibatches(data, self.batch_size, shuffle=shuffle, rng=self._rng):
                 h_pos_prob = rbm.hidden_activation_probability(batch)
+                if not self.persistent:
+                    # CD-style re-seed: particles restart from the minibatch
+                    # rows (cycled) instead of persisting across updates.
+                    seed_rows = np.resize(np.arange(batch.shape[0]), self.n_particles)
+                    self._particles_v = batch[seed_rows].copy()
                 v_neg, h_neg = self._advance_particles(rbm)
                 h_neg_prob = rbm.hidden_activation_probability(v_neg)
 
