@@ -22,6 +22,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.utils.numerics import as_float_array
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import ValidationError, check_binary, check_positive
 
@@ -176,7 +177,10 @@ class ChargePumpUpdater:
             True for the positive (increment) phase, False for the negative
             (decrement) phase — the ``Phase`` control signal of Fig. 14.
         """
-        weights = np.asarray(weights, dtype=float)
+        # Preserve tier-dtype arrays as-is: coercing a float32 coupling array
+        # to float64 would silently copy it and strand the in-place update on
+        # the copy (the float32 substrate tier owns its weights directly).
+        weights = as_float_array(weights)
         correlation = check_binary(correlation, name="correlation")
         if weights.shape != self.shape or correlation.shape != self.shape:
             raise ValidationError(
@@ -249,7 +253,7 @@ class ChargePumpUpdater:
         is permanently 1, so the same charge-pump law applies with the
         node's own binary state gating the transfer.
         """
-        biases = np.asarray(biases, dtype=float)
+        biases = as_float_array(biases)
         active = check_binary(active, name="active")
         if biases.shape != active.shape:
             raise ValidationError("biases and active must have the same shape")

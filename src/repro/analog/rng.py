@@ -17,6 +17,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro.utils.numerics import fused_sigmoid_bernoulli
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import ValidationError, check_in_range, check_positive
 
@@ -49,10 +50,16 @@ class ThermalNoiseRNG:
         self.gaussian_sigma = check_positive(gaussian_sigma, name="gaussian_sigma")
         self._rng = as_rng(rng)
 
-    def sample(self, shape) -> np.ndarray:
-        """Draw random reference voltages in [0, 1] with the configured law."""
+    def sample(self, shape, dtype=np.float64) -> np.ndarray:
+        """Draw random reference voltages in [0, 1] with the configured law.
+
+        ``dtype`` selects the draw precision for the uniform law (float32
+        draws consume half the generator output — the precision-tiered
+        kernels use this); the Gaussian law always draws in float64, as the
+        clipped-normal model is not on any precision-tiered path.
+        """
         if self.distribution == "uniform":
-            return self._rng.random(shape)
+            return self._rng.random(shape, dtype=dtype)
         draws = self._rng.normal(0.5, self.gaussian_sigma, size=shape)
         return np.clip(draws, 0.0, 1.0)
 
@@ -114,12 +121,28 @@ class StochasticNeuronSampler:
         )
         self.n_units = int(n_units)
 
+    @property
+    def supports_fused(self) -> bool:
+        """Whether the fused sigmoid→compare latch is available for this node.
+
+        The fused kernel folds the comparator into a logit-space compare, so
+        it requires the idealized uniform reference law and offset-free
+        comparators; any other configuration falls back to the explicit
+        sigmoid-then-compare path (still precision-tiered, just not fused).
+        """
+        return (
+            self.noise_source.distribution == "uniform"
+            and not self.comparator._has_offsets
+        )
+
     def sample(self, probabilities: np.ndarray, *, validate: bool = True) -> np.ndarray:
         """Draw binary samples whose success probabilities are ``probabilities``.
 
         ``validate=False`` is the trusted fast path used by the substrate's
         inner sampling loops, whose probabilities come straight from the
-        sigmoid units and are in [0, 1] by construction.
+        sigmoid units and are in [0, 1] by construction.  The trusted path
+        is dtype-preserving: float32 probabilities draw float32 uniform
+        references and latch float32 samples.
         """
         if validate:
             probabilities = check_in_range_array(probabilities)
@@ -129,10 +152,36 @@ class StochasticNeuronSampler:
         # so the range scan, re-coercions, and shape re-check are skipped;
         # with zero comparator offsets, adding them is skipped too (a
         # value-preserving no-op either way).
-        reference = self.noise_source.sample(np.shape(probabilities))
+        # Tier rule: float32 probabilities draw float32 references; every
+        # other numeric dtype keeps the legacy float64 draw (Generator.random
+        # supports only the two tiered dtypes).
+        dtype = (
+            np.dtype(np.float32)
+            if getattr(probabilities, "dtype", None) == np.float32
+            else np.dtype(np.float64)
+        )
+        reference = self.noise_source.sample(np.shape(probabilities), dtype=dtype)
         if self.comparator._has_offsets:
             probabilities = probabilities + self.comparator.offsets
-        return (probabilities > reference).astype(float)
+        return (probabilities > reference).astype(dtype)
+
+    def sample_from_field(self, field: np.ndarray) -> np.ndarray:
+        """Fused latch: Bernoulli(``sigmoid(field)``) without the sigmoid.
+
+        The float32 precision tier's inner draw — one logit-space compare of
+        the pre-activation field against the thermal-noise reference (see
+        :func:`repro.utils.numerics.fused_sigmoid_bernoulli`), drawn in the
+        field's dtype.  Only valid when :attr:`supports_fused` holds (uniform
+        references, offset-free comparators) and the sigmoid units are the
+        identity transfer curve; callers check both.
+        """
+        dtype = (
+            np.dtype(np.float32)
+            if getattr(field, "dtype", None) == np.float32
+            else np.dtype(np.float64)
+        )
+        uniforms = self.noise_source.sample(np.shape(field), dtype=dtype)
+        return fused_sigmoid_bernoulli(field, uniforms)
 
 
 def check_in_range_array(p: np.ndarray) -> np.ndarray:

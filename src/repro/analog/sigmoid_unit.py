@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.utils.numerics import sigmoid, sigmoid_reference
+from repro.utils.numerics import as_float_array, sigmoid, sigmoid_reference
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_positive
 
@@ -81,6 +81,22 @@ class SigmoidUnit:
         else:
             self._unit_gains = None
 
+    @property
+    def is_identity(self) -> bool:
+        """True when this unit is exactly the software logistic ``sigmoid(x)``.
+
+        Holds in the ideal corner only: nominal unit gain, zero offset, no
+        per-unit gain mismatch, no output noise.  The substrate's fused
+        sigmoid→compare latch is valid precisely under this condition.
+        """
+        return (
+            self._unit_gains is None
+            and self.gain == 1.0
+            and self.offset == 0.0
+            and self.output_noise_rms == 0.0
+            and not self.reference_impl
+        )
+
     def ideal(self, x: np.ndarray) -> np.ndarray:
         """Noise-free transfer function S(x) = sigmoid(gain * (x - offset))."""
         x = np.asarray(x, dtype=float)
@@ -90,9 +106,13 @@ class SigmoidUnit:
         """Evaluate the unit, applying per-unit variation and dynamic noise.
 
         ``x`` may be 1-D (one value per unit) or 2-D (batch, units); the
-        per-unit gain mismatch is applied along the last axis.
+        per-unit gain mismatch is applied along the last axis.  Float32
+        inputs stay float32 through the ideal transfer curve (the precision
+        tier); the variation/noise corners may compute in float64 — callers
+        that need a fixed output dtype cast the (exactly representable)
+        binary latch downstream.
         """
-        x = np.asarray(x, dtype=float)
+        x = as_float_array(x)
         if self._unit_gains is not None:
             if x.shape[-1] != self.n_units:
                 raise ValueError(

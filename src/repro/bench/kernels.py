@@ -79,6 +79,63 @@ def _substrate_kernel(n_visible: int, n_hidden: int, batch: np.ndarray, fast: bo
     return kernel
 
 
+def _substrate_dtype_kernel(
+    n_visible: int, n_hidden: int, batch: np.ndarray, fast: bool
+):
+    """Conditional sampling on the precision tiers: float32 vs float64.
+
+    Both legs run the fast path; ``fast`` selects the float32 tier (fused
+    Bernoulli latch) and the baseline is the float64 fast path, so the
+    ratio is the precision-tier win itself.
+    """
+    substrate = BipartiteIsingSubstrate(
+        n_visible, n_hidden, rng=0, dtype="float32" if fast else "float64"
+    )
+    weights = np.random.default_rng(1).normal(0, 0.1, (n_visible, n_hidden))
+    substrate.program(weights, np.zeros(n_visible), np.zeros(n_hidden))
+
+    def kernel():
+        substrate.sample_hidden_given_visible(batch)
+
+    return kernel
+
+
+def _settle_batch_dtype_kernel(
+    n_visible: int, n_hidden: int, chains: int, n_steps: int, fast: bool
+):
+    """Chain-parallel settles on the precision tiers: float32 vs float64."""
+    substrate = BipartiteIsingSubstrate(
+        n_visible, n_hidden, rng=0, dtype="float32" if fast else "float64"
+    )
+    weights = np.random.default_rng(1).normal(0, 0.1, (n_visible, n_hidden))
+    substrate.program(weights, np.zeros(n_visible), np.zeros(n_hidden))
+    hidden = (np.random.default_rng(2).random((chains, n_hidden)) < 0.5).astype(float)
+
+    def kernel():
+        substrate.settle_batch(hidden, n_steps)
+
+    return kernel
+
+
+def _ais_dtype_kernel(n_visible: int, n_hidden: int, fast: bool):
+    """AIS sweep on the precision tiers (fused log1pexp-diff both legs)."""
+    rbm = BernoulliRBM(n_visible, n_hidden, rng=0)
+    rng = np.random.default_rng(1)
+    rbm.set_parameters(
+        rng.normal(0, 0.1, (n_visible, n_hidden)),
+        rng.normal(0, 0.2, n_visible),
+        rng.normal(0, 0.2, n_hidden),
+    )
+    dtype = "float32" if fast else "float64"
+
+    def kernel():
+        AISEstimator(
+            n_chains=16, n_betas=12, rng=3, dtype=dtype
+        ).estimate_log_partition(rbm)
+
+    return kernel
+
+
 def _gs_epoch_kernel(data: np.ndarray, fast: bool):
     def kernel():
         rbm = BernoulliRBM(data.shape[1], 32, rng=0)
@@ -192,6 +249,21 @@ def run_benchmarks(repeats: int = 9, include_large: bool = True) -> Dict:
         kernels["gs_multichain_negative_phase_p8_784x500"] = lambda fast: (
             _multichain_negative_phase_kernel(784, 500, 8, 2, fast)
         )
+        # Precision-tier entries: legacy = the float64 fast path, fast = the
+        # float32 tier (fused sigmoid->compare latch), so the ratio isolates
+        # the precision win on the BLAS-bound MNIST-scale kernels.
+        kernels["substrate_conditional_sampling_784x500_float32"] = lambda fast: (
+            _substrate_dtype_kernel(784, 500, large_batch, fast)
+        )
+        # p=64 matches the paper-scale PCD pool (PAPER_FIGURE7_CONFIG's
+        # gs_chains); the float32 win grows with the chain count as the
+        # settle becomes purely BLAS-bound.
+        kernels["substrate_settle_batch_p64_784x500_float32"] = lambda fast: (
+            _settle_batch_dtype_kernel(784, 500, 64, 2, fast)
+        )
+        kernels["ais_logz_784x500_float32"] = lambda fast: (
+            _ais_dtype_kernel(784, 500, fast)
+        )
 
     results: Dict = {
         "meta": {
@@ -205,7 +277,9 @@ def run_benchmarks(repeats: int = 9, include_large: bool = True) -> Dict:
                 "for gs_pcd/gs_multichain entries legacy = chain_batch=False "
                 "(chains advanced one at a time through the single-chain "
                 "fast path) and fast = the chain-parallel settle_batch "
-                "kernel; for ais entries legacy = the per-beta Python loop"
+                "kernel; for ais entries legacy = the per-beta Python loop; "
+                "for *_float32 entries legacy = the float64 fast path and "
+                "fast = the float32 precision tier (fused Bernoulli latch)"
             ),
         },
         "kernels": {},

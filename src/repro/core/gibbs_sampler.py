@@ -41,6 +41,10 @@ class GibbsSamplerMachine:
         Analog noise/variation operating point (defaults to ideal).
     sigmoid_gain, input_bits:
         Forwarded to the underlying :class:`BipartiteIsingSubstrate`.
+    dtype:
+        Substrate precision tier (``"float64"`` default, or ``"float32"``
+        for the single-precision kernels with the fused Bernoulli latch);
+        forwarded to the substrate.  Host-side statistics stay float64.
     """
 
     def __init__(
@@ -53,6 +57,7 @@ class GibbsSamplerMachine:
         input_bits: Optional[int] = 8,
         rng: SeedLike = None,
         fast_path: bool = True,
+        dtype: "str" = "float64",
     ):
         self.substrate = BipartiteIsingSubstrate(
             n_visible,
@@ -62,9 +67,15 @@ class GibbsSamplerMachine:
             input_bits=input_bits,
             rng=rng,
             fast_path=fast_path,
+            dtype=dtype,
         )
         self.fast_path = bool(fast_path)
         self.host = HostStatistics()
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The substrate's precision tier."""
+        return self.substrate.dtype
 
     @property
     def n_visible(self) -> int:
@@ -180,6 +191,14 @@ class GibbsSamplerTrainer:
         shape is created lazily at ``train`` time.
     noise_config:
         Noise operating point used when the machine is created lazily.
+    dtype:
+        Precision tier of the lazily-created machine's substrate
+        (``"float64"`` default).  ``"float32"`` runs every settle in single
+        precision — the MNIST-scale (784x500) configuration — while the
+        host-side gradient accumulation and the RBM's parameters stay
+        float64 (mixed-precision training: sample in the tier, accumulate
+        in double).  Float32 sampling is pinned statistically, not by seed
+        (``tests/property/test_precision_tiers.py``).
 
     RNG stream order
     ----------------
@@ -208,6 +227,7 @@ class GibbsSamplerTrainer:
         rng: SeedLike = None,
         callback=None,
         fast_path: bool = True,
+        dtype: "str" = "float64",
     ):
         self.learning_rate = check_positive(learning_rate, name="learning_rate")
         if cd_k < 1:
@@ -227,6 +247,7 @@ class GibbsSamplerTrainer:
         self._rng = as_rng(rng)
         self.callback = callback
         self.fast_path = bool(fast_path)
+        self.dtype = np.dtype(dtype)
         self._chains_h: Optional[np.ndarray] = None
 
     @property
@@ -245,6 +266,7 @@ class GibbsSamplerTrainer:
                 noise_config=self.noise_config,
                 rng=self._rng,
                 fast_path=self.fast_path,
+                dtype=self.dtype,
             )
         return self.machine
 

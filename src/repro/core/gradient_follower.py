@@ -110,11 +110,16 @@ class BoltzmannGradientFollower:
         input_bits: Optional[int] = 8,
         rng: SeedLike = None,
         fast_path: bool = True,
+        dtype: "str" = "float64",
     ):
         self.config = config if config is not None else BGFConfig()
         self.noise_config = noise_config if noise_config is not None else NoiseConfig()
         self.fast_path = bool(fast_path)
         streams = spawn_rngs(rng, 4)
+        # ``dtype`` selects the substrate precision tier: settles and latch
+        # draws run in float32 when requested, while the charge pumps edit
+        # the (tier-dtype) coupling array in place with float64 step math —
+        # the update law itself is not precision-tiered.
         self.substrate = BipartiteIsingSubstrate(
             n_visible,
             n_hidden,
@@ -123,6 +128,7 @@ class BoltzmannGradientFollower:
             input_bits=input_bits,
             rng=streams[0],
             fast_path=fast_path,
+            dtype=dtype,
         )
         self.weight_pump = ChargePumpUpdater(
             (n_visible, n_hidden),
@@ -414,6 +420,10 @@ class BGFTrainer:
     epochs_per_call:
         Ignored; present only for signature compatibility notes.  The epoch
         count is passed to :meth:`train` like the other trainers.
+    dtype:
+        Substrate precision tier of the lazily-created machine
+        (``"float64"`` default; ``"float32"`` for the single-precision
+        settle kernels — statistically pinned, not bit-identical).
     """
 
     def __init__(
@@ -427,6 +437,7 @@ class BGFTrainer:
         rng: SeedLike = None,
         callback=None,
         fast_path: bool = True,
+        dtype: "str" = "float64",
     ):
         check_positive(learning_rate, name="learning_rate")
         if reference_batch_size < 1:
@@ -445,6 +456,7 @@ class BGFTrainer:
         self._rng = as_rng(rng)
         self.callback = callback
         self.fast_path = bool(fast_path)
+        self.dtype = np.dtype(dtype)
         self.machine: Optional[BoltzmannGradientFollower] = None
 
     def _ensure_machine(self, rbm: BernoulliRBM) -> BoltzmannGradientFollower:
@@ -459,6 +471,7 @@ class BGFTrainer:
                 noise_config=self.noise_config,
                 rng=self._rng,
                 fast_path=self.fast_path,
+                dtype=self.dtype,
             )
         return self.machine
 

@@ -62,6 +62,18 @@ class BipartiteIsingSubstrate:
         per-step validation; results are identical either way (see
         ``docs/performance.md``), so the flag exists for benchmarking the
         fast path against the legacy one and for equivalence tests.
+    dtype:
+        Precision tier of the substrate's arrays and settle kernels.
+        ``"float64"`` (default) keeps the bit-identical pinning contract of
+        the fast-path layer.  ``"float32"`` stores the coupling cache, runs
+        every settle matmul, and draws the comparator references in single
+        precision — and, in the ideal corner (identity sigmoid units,
+        offset-free uniform comparators), latches through the fused
+        sigmoid→compare kernel that never materializes the probability
+        array.  Float32 results are *statistically* equivalent to float64,
+        pinned by ``tests/property/test_precision_tiers.py`` (see the
+        precision policy in ``docs/performance.md``); it requires the fast
+        path, since the legacy reference path is float64 by definition.
     """
 
     def __init__(
@@ -75,6 +87,7 @@ class BipartiteIsingSubstrate:
         comparator_offset_rms: float = 0.0,
         rng: SeedLike = None,
         fast_path: bool = True,
+        dtype: "str | np.dtype" = "float64",
     ):
         if n_visible <= 0 or n_hidden <= 0:
             raise ValidationError(
@@ -82,6 +95,16 @@ class BipartiteIsingSubstrate:
             )
         self.n_visible = int(n_visible)
         self.n_hidden = int(n_hidden)
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValidationError(
+                f"dtype must be float32 or float64, got {self.dtype}"
+            )
+        if self.dtype == np.float32 and not fast_path:
+            raise ValidationError(
+                "the float32 precision tier requires fast_path=True (the legacy "
+                "reference path is float64 by definition)"
+            )
         self.noise_config = noise_config if noise_config is not None else NoiseConfig()
 
         streams = spawn_rngs(rng, 6)
@@ -112,12 +135,23 @@ class BipartiteIsingSubstrate:
             DigitalToTimeConverter(input_bits, rng=streams[5]) if input_bits else None
         )
 
-        self.weights = np.zeros((self.n_visible, self.n_hidden))
-        self.visible_bias = np.zeros(self.n_visible)
-        self.hidden_bias = np.zeros(self.n_hidden)
+        self.weights = np.zeros((self.n_visible, self.n_hidden), dtype=self.dtype)
+        self.visible_bias = np.zeros(self.n_visible, dtype=self.dtype)
+        self.hidden_bias = np.zeros(self.n_hidden, dtype=self.dtype)
 
         self.fast_path = bool(fast_path)
         self._has_dynamic = self.noise_model.has_dynamic_noise
+        # The fused sigmoid->compare latch is exact only when the sigmoid
+        # units are the identity logistic and the comparators are ideal; any
+        # noisy/offset corner falls back to explicit sigmoid-then-compare
+        # (still run in the configured dtype).
+        self._fused_sampling = (
+            self.dtype == np.float32
+            and self.hidden_sigmoid.is_identity
+            and self.visible_sigmoid.is_identity
+            and self.hidden_sampler.supports_fused
+            and self.visible_sampler.supports_fused
+        )
         # Cached (effective, effective.T) pair of the variation-scaled
         # coupling matrix; rebuilt lazily after (re)programming or an
         # explicit invalidation (the BGF's in-place charge-pump updates).
@@ -132,16 +166,21 @@ class BipartiteIsingSubstrate:
         visible_bias: np.ndarray,
         hidden_bias: np.ndarray,
     ) -> None:
-        """Write the coupling weights and biases into the array."""
+        """Write the coupling weights and biases into the array.
+
+        The arrays are stored in the substrate's precision tier: a float32
+        substrate quantizes the programmed float64 parameters once, here —
+        the analog analogue of the array's finite programming resolution.
+        """
         self.weights = check_array(
             weights, name="weights", shape=(self.n_visible, self.n_hidden)
-        ).copy()
+        ).astype(self.dtype)
         self.visible_bias = check_array(
             visible_bias, name="visible_bias", shape=(self.n_visible,)
-        ).copy()
+        ).astype(self.dtype)
         self.hidden_bias = check_array(
             hidden_bias, name="hidden_bias", shape=(self.n_hidden,)
-        ).copy()
+        ).astype(self.dtype)
         self._eff_cache = None
 
     def program_trusted(
@@ -157,10 +196,14 @@ class BipartiteIsingSubstrate:
         right shape and must reprogram (or call
         :meth:`invalidate_effective_weights`) before sampling again if it
         mutates them.  :meth:`program` remains the validated public API.
+        On a float32 substrate the adoption becomes a one-time cast when the
+        caller's arrays are float64 (the trainers keep the host-side model in
+        double precision); that O(mn) cast replaces the legacy path's O(mn)
+        validation scan + copy, so the fast path stays ahead.
         """
-        weights = np.asarray(weights, dtype=float)
-        visible_bias = np.asarray(visible_bias, dtype=float)
-        hidden_bias = np.asarray(hidden_bias, dtype=float)
+        weights = np.asarray(weights, dtype=self.dtype)
+        visible_bias = np.asarray(visible_bias, dtype=self.dtype)
+        hidden_bias = np.asarray(hidden_bias, dtype=self.dtype)
         if weights.shape != (self.n_visible, self.n_hidden):
             raise ValidationError(
                 f"weights shape {weights.shape} does not match the "
@@ -215,11 +258,18 @@ class BipartiteIsingSubstrate:
         legacy per-settle path.
         """
         if self._eff_cache is None:
-            static = self.noise_model.static_effective(self.weights)
+            # The variation product is drawn/scaled in float64 and quantized
+            # into the substrate tier once per (re)programming; in the ideal
+            # corner static_effective aliases self.weights, already in tier.
+            static = np.asarray(
+                self.noise_model.static_effective(self.weights), dtype=self.dtype
+            )
             self._eff_cache = (static, static.T)
         static, static_t = self._eff_cache
         if self._has_dynamic:
-            effective = self.noise_model.apply_dynamic(static)
+            effective = np.asarray(
+                self.noise_model.apply_dynamic(static), dtype=self.dtype
+            )
             return effective, effective.T
         return static, static_t
 
@@ -234,7 +284,13 @@ class BipartiteIsingSubstrate:
     ) -> np.ndarray:
         """Fast-path field kernel: summed currents plus (conditional) node
         noise.  Single source shared by the public field methods and the
-        trusted samplers, so they cannot drift apart."""
+        trusted samplers, so they cannot drift apart.  Runs in the
+        substrate's precision tier: the state is cast into the coupling's
+        dtype when needed (a no-op on the float64 tier), the matmul runs in
+        that dtype, and in-place adds keep dynamic float64 noise draws from
+        upcasting a float32 field."""
+        if state.dtype != coupling.dtype:
+            state = state.astype(coupling.dtype)
         field = state @ coupling
         field += bias
         if self._has_dynamic:
@@ -274,13 +330,21 @@ class BipartiteIsingSubstrate:
         """Trusted settle-and-latch: ``clamped`` is 2-D float, DTC-driven."""
         effective, _ = self._effective_pair()
         field = self._field(clamped, effective, self.hidden_bias)
-        return self.hidden_sampler.sample(self.hidden_sigmoid(field), validate=False)
+        if self._fused_sampling:
+            return self.hidden_sampler.sample_from_field(field)
+        latch = self.hidden_sampler.sample(self.hidden_sigmoid(field), validate=False)
+        # Noisy-corner sigmoid math may run in float64; binary latches cast
+        # back into the tier exactly, keeping chain states dtype-stable.
+        return latch if latch.dtype == self.dtype else latch.astype(self.dtype)
 
     def _sample_visible_trusted(self, hidden: np.ndarray) -> np.ndarray:
         """Trusted settle-and-latch: ``hidden`` is a 2-D binary latch state."""
         _, effective_t = self._effective_pair()
         field = self._field(hidden, effective_t, self.visible_bias)
-        return self.visible_sampler.sample(self.visible_sigmoid(field), validate=False)
+        if self._fused_sampling:
+            return self.visible_sampler.sample_from_field(field)
+        latch = self.visible_sampler.sample(self.visible_sigmoid(field), validate=False)
+        return latch if latch.dtype == self.dtype else latch.astype(self.dtype)
 
     def sample_hidden_given_visible(self, visible: np.ndarray) -> np.ndarray:
         """Clamp the visible nodes and latch one hidden sample."""
@@ -321,13 +385,17 @@ class BipartiteIsingSubstrate:
         seed.  With a single row the two orders coincide bit-for-bit.
 
         Returns the final ``(visible, hidden)`` samples, shaped
-        ``(p, n_visible)`` and ``(p, n_hidden)``.
+        ``(p, n_visible)`` and ``(p, n_hidden)``, in the substrate's
+        precision tier (``self.dtype``) — a float32 substrate returns
+        float32 chain states with no silent float64 upcast mid-chain, and
+        the dtype never depends on the caller's input dtype (binary values
+        round-trip exactly through the validation cast).
         """
         if n_steps < 1:
             raise ValidationError(f"n_steps must be >= 1, got {n_steps}")
         hidden = check_binary(
             np.atleast_2d(np.asarray(hidden_init, dtype=float)), name="hidden_init"
-        )
+        ).astype(self.dtype, copy=False)
         if self.fast_path and self._chain_skip_clamp:
             # Validation is hoisted: hidden_init was checked once above, and
             # every in-chain state comes from our own latches (binary by

@@ -16,7 +16,14 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.rbm.rbm import BernoulliRBM
-from repro.utils.numerics import bernoulli_sample, log1pexp, logsumexp, sigmoid
+from repro.utils.numerics import (
+    bernoulli_sample,
+    fused_sigmoid_bernoulli,
+    log1pexp,
+    log1pexp_diff,
+    logsumexp,
+    sigmoid,
+)
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import ValidationError, check_array
 
@@ -72,11 +79,24 @@ class AISEstimator:
         evaluates the hidden inputs of *all* chains with a single matmul and
         reuses that matrix for the importance-weight update at both adjacent
         temperatures *and* the Gibbs transition — the legacy loop computed
-        it three times.  The Bernoulli draws are bit-identical to the loop
-        implementation's (same shapes, same order), so the two paths differ
-        only in floating-point association of the weight accumulation;
-        ``fast_path=False`` keeps the loop as the reference for the
-        regression tests.
+        it three times.  The weight update itself goes through the fused
+        :func:`~repro.utils.numerics.log1pexp_diff` kernel (one shared
+        ``|x|`` pass for both adjacent betas instead of two full softplus
+        evaluations).  On the float64 tier the Bernoulli draws are
+        bit-identical to the loop implementation's (same shapes, same
+        order), so the two paths agree to float64 accumulation/reassociation
+        tolerance; ``fast_path=False`` keeps the loop as the reference for
+        the regression tests.
+    dtype:
+        Precision tier of the sweep (fast path only).  ``"float64"``
+        (default) keeps the tolerance contract above.  ``"float32"`` runs
+        the per-temperature matmuls, the fused softplus-difference kernel,
+        and the transition draws (via the fused sigmoid→compare kernel, with
+        float32 uniforms) in single precision, while the log importance
+        weights still accumulate in float64 — the MNIST-scale (784x500)
+        estimator configuration.  Float32 estimates are pinned
+        statistically against the float64 reference
+        (``tests/property/test_precision_tiers.py``).
 
     RNG stream order
     ----------------
@@ -96,6 +116,7 @@ class AISEstimator:
         base_visible_bias: Optional[np.ndarray] = None,
         rng: SeedLike = None,
         fast_path: bool = True,
+        dtype: "str" = "float64",
     ):
         if n_chains < 1:
             raise ValidationError(f"n_chains must be >= 1, got {n_chains}")
@@ -108,6 +129,14 @@ class AISEstimator:
         )
         self._rng = as_rng(rng)
         self.fast_path = bool(fast_path)
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValidationError(f"dtype must be float32 or float64, got {self.dtype}")
+        if self.dtype == np.float32 and not self.fast_path:
+            raise ValidationError(
+                "the float32 AIS tier requires fast_path=True (the legacy loop "
+                "is the float64 reference)"
+            )
 
     # ------------------------------------------------------------------ #
     def _base_bias(self, rbm: BernoulliRBM) -> np.ndarray:
@@ -145,7 +174,11 @@ class AISEstimator:
     def estimate_log_partition(self, rbm: BernoulliRBM) -> AISResult:
         """Run AIS and return the estimated log partition function."""
         base_bias = self._base_bias(rbm)
-        betas = np.linspace(0.0, 1.0, self.n_betas)
+        # Python-float betas: a NumPy float64 scalar is not a "weak" scalar
+        # under NEP 50, so `beta * float32_array` would silently promote the
+        # whole float32 sweep back to float64; Python floats multiply
+        # bit-identically on the float64 tier and preserve float32.
+        betas = np.linspace(0.0, 1.0, self.n_betas).tolist()
 
         # log Z of the base-rate model: hidden units are free (2**n_hidden)
         # and visible units factorize over (1 + exp(base_bias)).
@@ -159,22 +192,45 @@ class AISEstimator:
         if self.fast_path:
             # Vectorized sweep: one (chains x n_hidden) input matmul per
             # temperature, shared by the weight update at both adjacent betas
-            # and by the Gibbs transition; the visible-bias gap against the
-            # base rate collapses to a single hoisted vector.
-            bias_gap = rbm.visible_bias - base_bias
+            # (through the fused softplus-difference kernel) and by the Gibbs
+            # transition; the visible-bias gap against the base rate
+            # collapses to a single hoisted vector.  On the float32 tier the
+            # parameters are quantized once up front, the matmuls and draws
+            # run in single precision, and log_w stays float64.
+            tier32 = self.dtype == np.float32
+            weights = np.asarray(rbm.weights, dtype=self.dtype)
+            weights_t = weights.T
+            hidden_bias = np.asarray(rbm.hidden_bias, dtype=self.dtype)
+            visible_bias = np.asarray(rbm.visible_bias, dtype=self.dtype)
+            base = np.asarray(base_bias, dtype=self.dtype)
+            bias_gap = visible_bias - base
+            if tier32:
+                v = v.astype(self.dtype)
             for prev_beta, beta in zip(betas[:-1], betas[1:]):
-                hidden_in = v @ rbm.weights + rbm.hidden_bias
+                hidden_in = v @ weights + hidden_bias
                 log_w += (beta - prev_beta) * (v @ bias_gap)
                 log_w += np.sum(
-                    log1pexp(beta * hidden_in) - log1pexp(prev_beta * hidden_in),
+                    log1pexp_diff(hidden_in, beta, prev_beta),
                     axis=1,
+                    dtype=np.float64,
                 )
-                h = bernoulli_sample(sigmoid(beta * hidden_in), self._rng)
-                v_field = (
-                    beta * (h @ rbm.weights.T + rbm.visible_bias)
-                    + (1.0 - beta) * base_bias
-                )
-                v = bernoulli_sample(sigmoid(v_field), self._rng)
+                if tier32:
+                    h = fused_sigmoid_bernoulli(
+                        beta * hidden_in,
+                        self._rng.random(hidden_in.shape, dtype=np.float32),
+                    )
+                    v_field = beta * (h @ weights_t + visible_bias)
+                    v_field += (1.0 - beta) * base
+                    v = fused_sigmoid_bernoulli(
+                        v_field, self._rng.random(v_field.shape, dtype=np.float32)
+                    )
+                else:
+                    h = bernoulli_sample(sigmoid(beta * hidden_in), self._rng)
+                    v_field = (
+                        beta * (h @ weights_t + visible_bias)
+                        + (1.0 - beta) * base
+                    )
+                    v = bernoulli_sample(sigmoid(v_field), self._rng)
         else:
             for prev_beta, beta in zip(betas[:-1], betas[1:]):
                 log_w += self._log_unnormalized(rbm, base_bias, v, beta)
@@ -193,6 +249,7 @@ def estimate_log_partition(
     data: Optional[np.ndarray] = None,
     rng: SeedLike = None,
     fast_path: bool = True,
+    dtype: "str" = "float64",
 ) -> float:
     """Convenience wrapper returning just the estimated log Z.
 
@@ -206,6 +263,7 @@ def estimate_log_partition(
         base_visible_bias=base_bias,
         rng=rng,
         fast_path=fast_path,
+        dtype=dtype,
     )
     return estimator.estimate_log_partition(rbm).log_partition
 
@@ -218,11 +276,14 @@ def average_log_probability(
     n_betas: int = 200,
     rng: SeedLike = None,
     log_partition: Optional[float] = None,
+    dtype: "str" = "float64",
 ) -> float:
     """Average log probability of ``data`` rows, the paper's quality metric.
 
     ``log P(v) = -F(v) - log Z`` where ``log Z`` is AIS-estimated (or passed
     in directly via ``log_partition`` to reuse an existing estimate).
+    ``dtype="float32"`` runs the AIS sweep in the single-precision tier; the
+    free energies of the data always evaluate in float64.
     """
     data = check_array(data, name="data", ndim=2)
     if data.shape[1] != rbm.n_visible:
@@ -231,6 +292,6 @@ def average_log_probability(
         )
     if log_partition is None:
         log_partition = estimate_log_partition(
-            rbm, n_chains=n_chains, n_betas=n_betas, data=data, rng=rng
+            rbm, n_chains=n_chains, n_betas=n_betas, data=data, rng=rng, dtype=dtype
         )
     return float(np.mean(-rbm.free_energy(data)) - log_partition)

@@ -6,6 +6,12 @@ The RBM energy/probability machinery works in log space almost everywhere
 (software Gibbs and the analog comparator model) share a single
 ``bernoulli_sample`` implementation so that CPU and "hardware" runs draw
 through the same code.
+
+Precision policy: the elementwise kernels (``sigmoid``, ``log1pexp`` and
+their fused variants) are *dtype-preserving* for float32 and float64 inputs
+— the precision-tiered substrate kernels rely on float32 staying float32
+end to end.  Every other input dtype is promoted to float64, exactly as
+before, so the float64 bit-identical pinning contract is untouched.
 """
 
 from __future__ import annotations
@@ -17,6 +23,21 @@ import numpy as np
 from repro.utils.rng import SeedLike, as_rng
 
 
+def as_float_array(x) -> np.ndarray:
+    """Coerce to ndarray, preserving float32/float64 and promoting the rest.
+
+    The single dtype-coercion rule of the precision policy: the two tiered
+    dtypes pass through untouched (and uncopied), everything else — ints,
+    bools, float16, lists — promotes to float64.  Shared by the numerics
+    kernels, the sigmoid units, and the charge pumps so the tier boundary
+    cannot drift between components.
+    """
+    x = np.asarray(x)
+    if x.dtype == np.float64 or x.dtype == np.float32:
+        return x
+    return x.astype(float)
+
+
 def sigmoid(x: np.ndarray) -> np.ndarray:
     """Numerically-stable logistic function ``1 / (1 + exp(-x))``.
 
@@ -25,8 +46,9 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
     so one exponential and one division cover both.  Bit-identical to the
     two-pass masked formulation (:func:`sigmoid_reference`) because each
     element goes through the exact same floating-point operations.
+    Dtype-preserving for float32 inputs (see module docstring).
     """
-    x = np.asarray(x, dtype=float)
+    x = as_float_array(x)
     if x.ndim == 0:
         z = np.exp(-np.abs(x))
         return np.where(x >= 0, 1.0, z) / (1.0 + z)
@@ -55,7 +77,7 @@ def sigmoid_reference(x: np.ndarray) -> np.ndarray:
 
 def log_sigmoid(x: np.ndarray) -> np.ndarray:
     """``log(sigmoid(x))`` computed without overflow."""
-    x = np.asarray(x, dtype=float)
+    x = as_float_array(x)
     return -log1pexp(-x)
 
 
@@ -65,8 +87,9 @@ def log1pexp(x: np.ndarray) -> np.ndarray:
     Branch-free kernel: ``log1p(exp(-|x|)) + max(x, 0)`` — the same
     floating-point operations per element as the masked two-pass form
     (:func:`log1pexp_reference`), so the results are bit-identical.
+    Dtype-preserving for float32 inputs (see module docstring).
     """
-    x = np.asarray(x, dtype=float)
+    x = as_float_array(x)
     if x.ndim == 0:
         return np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0.0)
     z = np.abs(x)
@@ -90,6 +113,72 @@ def log1pexp_reference(x: np.ndarray) -> np.ndarray:
 def softplus(x: np.ndarray) -> np.ndarray:
     """Alias of :func:`log1pexp`, the conventional neural-network name."""
     return log1pexp(x)
+
+
+def log1pexp_diff(x: np.ndarray, hi: float, lo: float) -> np.ndarray:
+    """Fused ``log1pexp(hi * x) - log1pexp(lo * x)`` for ``hi >= lo >= 0``.
+
+    The AIS importance-weight update evaluates the softplus of the *same*
+    hidden-input matrix at two adjacent inverse temperatures and subtracts;
+    done naively that is two full softplus kernels (two abs/max passes, two
+    scaled copies).  With ``hi, lo >= 0``, ``max(hi*x, 0) = hi*max(x, 0)``,
+    so the difference collapses to
+
+        ``(hi - lo) * max(x, 0) + log1p(exp(-hi*|x|)) - log1p(exp(-lo*|x|))``
+
+    which shares one ``|x|`` pass between the two temperatures and skips the
+    second max pass entirely.  Results agree with the two-softplus form to
+    float64 rounding (the max factoring reassociates one multiply), pinned
+    by ``tests/rbm/test_ais.py``; extremes are exact: for large positive
+    ``x`` both ``log1p`` terms vanish and the result is ``(hi - lo) * x``,
+    for large negative ``x`` it decays to 0.  Dtype-preserving for float32.
+    """
+    hi = float(hi)
+    lo = float(lo)
+    if lo < 0.0 or hi < lo:
+        raise ValueError(f"log1pexp_diff requires hi >= lo >= 0, got ({hi}, {lo})")
+    x = as_float_array(x)
+    absx = np.abs(x)
+    z = absx * (-hi)
+    np.exp(z, out=z)
+    np.log1p(z, out=z)
+    absx *= -lo
+    np.exp(absx, out=absx)
+    np.log1p(absx, out=absx)
+    z -= absx
+    z += (hi - lo) * np.maximum(x, 0.0)
+    return z
+
+
+def fused_sigmoid_bernoulli(field: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+    """Bernoulli draw with ``P(out=1) = sigmoid(field)`` in one fused pass.
+
+    Uses the identity ``u < 1/(1 + exp(-x))  <=>  u * (1 + exp(-x)) < 1``
+    (both sides positive), evaluated in one working buffer (neither input is
+    mutated): a single ``exp`` — no division, no ``abs``/``where`` branch
+    selection, and the sigmoid probability array is never materialized.
+    Saturation is safe by construction: for very negative fields ``exp(-x)``
+    overflows to ``inf`` and the product compares as "no latch" — including
+    the ``u = 0`` corner, where ``inf * 0 = nan`` also compares false; the
+    true latch probability there is below the dtype's resolution, so both
+    flags are suppressed.  Elsewhere ``u = 0`` latches, mirroring the
+    comparator's ``p > 0``.
+
+    This is the float32 precision tier's sampling kernel — mathematically
+    equivalent to ``bernoulli_sample(sigmoid(field))`` but *not*
+    bit-identical (the compare happens on the rescaled inequality), so it is
+    pinned by the statistical tolerance suite rather than by seed.  The
+    result dtype matches ``field``.
+    """
+    field = np.asarray(field)
+    # over: exp(-x) -> inf on saturated-negative fields (compares correctly);
+    # invalid: inf * (u == 0) -> nan, which also compares as "no latch".
+    with np.errstate(over="ignore", invalid="ignore"):
+        t = np.negative(field)
+        np.exp(t, out=t)
+        t += 1.0
+        t *= uniforms
+    return np.less(t, 1.0).astype(field.dtype)
 
 
 def logsumexp(x: np.ndarray, axis: Optional[int] = None, keepdims: bool = False) -> np.ndarray:

@@ -8,8 +8,15 @@ exercising every code path.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
+
+# Make the shared test toolkit importable as `from helpers import ...` from
+# any suite directory (the tests tree is intentionally not a package).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from repro.datasets import load_mnist_like, make_fraud_like, make_movielens_like
 from repro.rbm import BernoulliRBM

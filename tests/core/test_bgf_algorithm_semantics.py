@@ -7,6 +7,7 @@ one with a correspondingly smaller step.  These tests verify each is
 actually implemented, not just documented.
 """
 
+from helpers import FLOAT64_EXACT_ATOL
 import numpy as np
 import pytest
 
@@ -42,7 +43,7 @@ class TestMidStepUpdates:
         assert "weights" in seen_by_negative
         positive_delta = seen_by_negative["weights"] - weights_before
         # The positive phase can only increment (or leave) weights.
-        assert positive_delta.min() >= -1e-12
+        assert positive_delta.min() >= -FLOAT64_EXACT_ATOL
         assert positive_delta.max() > 0.0
 
 

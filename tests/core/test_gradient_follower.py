@@ -1,5 +1,6 @@
 """Tests for the Boltzmann gradient follower (BGF) architecture."""
 
+from helpers import FLOAT64_ASSOC_ATOL
 import numpy as np
 import pytest
 
@@ -82,8 +83,8 @@ class TestBoltzmannGradientFollowerMachine:
         machine.initialize(np.zeros((16, 8)), np.zeros(16), np.zeros(8))
         machine.run(tiny_binary_data, epochs=3)
         lo, hi = machine.config.weight_range
-        assert machine.substrate.weights.min() >= lo - 1e-9
-        assert machine.substrate.weights.max() <= hi + 1e-9
+        assert machine.substrate.weights.min() >= lo - FLOAT64_ASSOC_ATOL
+        assert machine.substrate.weights.max() <= hi + FLOAT64_ASSOC_ATOL
 
     def test_read_out_quantizes_through_adc(self):
         machine = self._machine(config=BGFConfig(readout_bits=4, weight_range=(-1.0, 1.0)))

@@ -1,0 +1,82 @@
+"""Statistical assertion helpers for the distribution-pinned test suites.
+
+Samplers whose draw *streams* legitimately differ from the reference
+(multi-chain layouts, persistent chains, the float32 precision tier) are
+validated distributionally: long-run chain moments against exact enumeration
+where the model is small enough, Geweke-style cross-estimator agreement at
+scale.  These helpers make that vocabulary reusable — every suite pins the
+same quantities with the same documented thresholds (see
+``tests.helpers.tolerances`` for the calibration reasoning).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.rbm.partition import (
+    empirical_visible_distribution,
+    exact_visible_distribution,
+)
+
+from .tolerances import GEWEKE_ATOL, KL_MAX, MOMENT_ATOL
+
+Moments = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def chain_moments(v_samples: np.ndarray, h_samples: np.ndarray) -> Moments:
+    """``(E[v], E[h], E[v h^T])`` estimated from stacked chain samples."""
+    v = np.asarray(v_samples, dtype=float)
+    h = np.asarray(h_samples, dtype=float)
+    return v.mean(axis=0), h.mean(axis=0), v.T @ h / v.shape[0]
+
+
+def assert_moments_match(
+    v_samples: np.ndarray,
+    h_samples: np.ndarray,
+    exact_moments: Moments,
+    *,
+    atol: float = MOMENT_ATOL,
+) -> None:
+    """Sampled first moments agree with exact enumeration within ``atol``."""
+    mean_v, mean_h, corr_vh = chain_moments(v_samples, h_samples)
+    np.testing.assert_allclose(mean_v, exact_moments[0], atol=atol)
+    np.testing.assert_allclose(mean_h, exact_moments[1], atol=atol)
+    np.testing.assert_allclose(corr_vh, exact_moments[2], atol=atol)
+
+
+def assert_geweke_agree(
+    moments_a: Moments, moments_b: Moments, *, atol: float = GEWEKE_ATOL
+) -> None:
+    """Two independent estimators of the same moments agree within ``atol``.
+
+    The Geweke-style cross check for models too large to enumerate: both
+    sides are Monte-Carlo estimates, so the default allowance doubles the
+    single-estimator moment tolerance.
+    """
+    for a, b in zip(moments_a, moments_b):
+        np.testing.assert_allclose(a, b, atol=atol)
+
+
+def empirical_kl(v_samples: np.ndarray, rbm) -> float:
+    """KL(empirical || exact) of the sampled visible marginal (enumerable RBM).
+
+    Summed over the support of the empirical distribution, so unvisited
+    states contribute nothing (the standard plug-in estimate used by the
+    chain-statistics suite).
+    """
+    empirical = empirical_visible_distribution(
+        np.asarray(v_samples, dtype=float), rbm.n_visible
+    )
+    exact = exact_visible_distribution(rbm)
+    mask = empirical > 0
+    return float(np.sum(empirical[mask] * np.log(empirical[mask] / exact[mask])))
+
+
+def assert_visible_kl_below(
+    v_samples: np.ndarray, rbm, *, kl_max: float = KL_MAX
+) -> None:
+    """The sampled visible marginal is KL-close to the exact one."""
+    kl = empirical_kl(v_samples, rbm)
+    assert 0.0 <= kl < kl_max, f"visible-marginal KL {kl:.4f} exceeds {kl_max}"

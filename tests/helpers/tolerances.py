@@ -1,0 +1,55 @@
+"""Single source of the suite's tolerance constants.
+
+The repo validates kernels under three distinct contracts (see the
+"precision policy" section of docs/performance.md); every tolerance used by
+more than one test module lives here so the thresholds — and the reasoning
+behind them — cannot drift apart between suites.
+
+1. **Bit-identical** — PR-1-style overhead removal reproduces the legacy
+   float64 stream exactly; assertions use ``assert_array_equal`` and need no
+   constant from this module.
+2. **Float64 tolerance** — same draws, reassociated float64 arithmetic
+   (vectorized accumulations, fused elementwise kernels, factored no-ops).
+   ``FLOAT64_EXACT_ATOL`` bounds paths that differ by at most an ulp-level
+   rewrite of individual operations; ``FLOAT64_ASSOC_ATOL`` bounds
+   accumulations whose summation order changed (error grows with the
+   number of reassociated terms, so the allowance is looser).
+3. **Statistical** — different draw *streams* (multi-chain layouts, the
+   float32 precision tier): only distributional agreement is defined.
+   Constants here are calibrated against the Monte-Carlo noise floor of the
+   fixed-seed sample sizes used by the suites, several standard errors
+   above it, so the tests are deterministic yet still fail loudly on real
+   defects (a transposed coupling or a wrong-layer conditional shifts
+   moments by far more than the allowance).
+"""
+
+#: Float64 paths that perform per-element equivalent-but-rewritten ops
+#: (monotonicity slack, exact no-op algebra).  ~a few ulps at unit scale.
+FLOAT64_EXACT_ATOL = 1e-12
+
+#: Float64 accumulations whose association order changed (vectorized vs
+#: loop sweeps, fused difference kernels): |error| <= n * eps * |terms|,
+#: comfortably below 1e-9 for every suite-scale accumulation.
+FLOAT64_ASSOC_ATOL = 1e-9
+
+#: Elementwise function round-trips through exp/log pairs (one transcendental
+#: each way costs ~half a relative digit more than pure arithmetic).
+FLOAT64_FUNC_ATOL = 1e-8
+
+#: Absolute tolerance on sampled first moments (E[v], E[h], E[v h^T]).
+#: The binary-variable standard error at the suites' >= ~1e4 (autocorrelated)
+#: samples is below 0.01, so 0.05 is a > 5 sigma allowance.
+MOMENT_ATOL = 0.05
+
+#: Two independent Monte-Carlo estimators of the same moment (Geweke-style
+#: cross checks): both sides carry MOMENT_ATOL-level noise.
+GEWEKE_ATOL = 2 * MOMENT_ATOL
+
+#: KL(empirical || exact) of a sampled visible marginal on the enumerable
+#: test RBMs; a sampler stuck in a mode or drawing from the wrong
+#: conditional exceeds this by orders of magnitude.
+KL_MAX = 0.05
+
+#: AIS log-Z estimate against exact enumeration at the suites' chain/beta
+#: budgets (estimator standard deviation ~0.1 there; 0.5 is > 4 sigma).
+AIS_LOGZ_STAT_ATOL = 0.5

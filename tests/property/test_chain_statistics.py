@@ -29,22 +29,19 @@ more than the allowance.
 import numpy as np
 import pytest
 
+from helpers import MOMENT_ATOL, assert_visible_kl_below
 from repro.core import GibbsSamplerMachine, GibbsSamplerTrainer
 from repro.ising import BipartiteIsingSubstrate
 from repro.rbm import BernoulliRBM
-from repro.rbm.partition import (
-    empirical_visible_distribution,
-    exact_model_moments,
-    exact_visible_distribution,
-)
+from repro.rbm.partition import exact_model_moments
 
 N_VISIBLE, N_HIDDEN = 6, 4
 BURN_IN = 300
 N_SWEEPS = 400
 N_CHAINS = 32
-#: Absolute tolerance on first moments: the binary-variable standard error
-#: at ~12800 (autocorrelated) samples is below 0.01, so 0.05 is > 5 sigma.
-MOMENT_ATOL = 0.05
+# MOMENT_ATOL (tests/helpers/tolerances.py): the binary-variable standard
+# error at this suite's ~12800 (autocorrelated) samples is below 0.01, so
+# the shared 0.05 allowance is > 5 sigma here.
 
 
 @pytest.fixture(scope="module")
@@ -133,11 +130,7 @@ class TestBatchedChainsMatchExactDistribution:
     def test_visible_distribution_kl(self, batched_samples, enumerable_rbm):
         """KL(empirical || exact) of the sampled visible marginal is small."""
         v, _ = batched_samples
-        empirical = empirical_visible_distribution(v, enumerable_rbm.n_visible)
-        exact = exact_visible_distribution(enumerable_rbm)
-        mask = empirical > 0
-        kl = float(np.sum(empirical[mask] * np.log(empirical[mask] / exact[mask])))
-        assert 0.0 <= kl < 0.05
+        assert_visible_kl_below(v, enumerable_rbm)
 
 
 class TestSingleChainMatchesExactDistribution:

@@ -1,5 +1,6 @@
 """Property-based tests for Ising-model and analog-circuit invariants."""
 
+from helpers import FLOAT64_ASSOC_ATOL, FLOAT64_EXACT_ATOL, FLOAT64_FUNC_ATOL
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -39,7 +40,7 @@ class TestIsingProperties:
         flipped = spins.copy()
         flipped[index] = -flipped[index]
         direct = model.energy(flipped)[0] - model.energy(spins)[0]
-        assert model.energy_delta_flip(spins, index) == pytest.approx(direct, abs=1e-8)
+        assert model.energy_delta_flip(spins, index) == pytest.approx(direct, abs=FLOAT64_FUNC_ATOL)
 
     @settings(max_examples=30, deadline=None)
     @given(ising_strategy)
@@ -48,7 +49,7 @@ class TestIsingProperties:
         no_field = IsingModel(model.couplings, np.zeros(model.n_spins))
         rng = np.random.default_rng(0)
         spins = rng.choice([-1.0, 1.0], size=model.n_spins)
-        assert no_field.energy(spins)[0] == pytest.approx(no_field.energy(-spins)[0], abs=1e-9)
+        assert no_field.energy(spins)[0] == pytest.approx(no_field.energy(-spins)[0], abs=FLOAT64_ASSOC_ATOL)
 
     @settings(max_examples=30, deadline=None)
     @given(ising_strategy)
@@ -67,7 +68,7 @@ class TestIsingProperties:
             bits = np.array([(index >> k) & 1 for k in range(n_bits)], dtype=float)
             sigma = 2 * bits - 1
             assert float(bits @ q_sym @ bits) == pytest.approx(
-                float(model.energy(sigma)[0]) + offset, abs=1e-8
+                float(model.energy(sigma)[0]) + offset, abs=FLOAT64_FUNC_ATOL
             )
 
 
@@ -85,8 +86,8 @@ class TestChargePumpProperties:
         for _ in range(n_updates):
             correlation = (rng.random((3, 3)) < 0.5).astype(float)
             pump.apply(weights, correlation, positive=bool(rng.integers(0, 2)))
-        assert weights.min() >= -1.0 - 1e-9
-        assert weights.max() <= 1.0 + 1e-9
+        assert weights.min() >= -1.0 - FLOAT64_ASSOC_ATOL
+        assert weights.max() <= 1.0 + FLOAT64_ASSOC_ATOL
 
     @settings(max_examples=30, deadline=None)
     @given(st.integers(0, 1000), st.floats(0.001, 0.1))
@@ -96,7 +97,7 @@ class TestChargePumpProperties:
         weights = rng.uniform(-0.5, 0.5, (4, 2))
         before = weights.copy()
         pump.apply(weights, np.ones((4, 2)), positive=True)
-        assert np.all(weights >= before - 1e-12)
+        assert np.all(weights >= before - FLOAT64_EXACT_ATOL)
 
 
 class TestQuantizationProperties:
@@ -109,7 +110,7 @@ class TestQuantizationProperties:
     def test_quantization_error_bounded_by_half_lsb(self, values, bits):
         quantized = quantize_uniform(values, bits, (-1.0, 1.0))
         lsb = 2.0 / ((1 << bits) - 1)
-        assert np.max(np.abs(values - quantized)) <= lsb / 2 + 1e-12
+        assert np.max(np.abs(values - quantized)) <= lsb / 2 + FLOAT64_EXACT_ATOL
 
     @settings(max_examples=40, deadline=None)
     @given(
@@ -120,7 +121,7 @@ class TestQuantizationProperties:
     def test_quantization_idempotent(self, values, bits):
         once = quantize_uniform(values, bits, (-1.0, 1.0))
         twice = quantize_uniform(once, bits, (-1.0, 1.0))
-        np.testing.assert_allclose(once, twice, atol=1e-12)
+        np.testing.assert_allclose(once, twice, atol=FLOAT64_EXACT_ATOL)
 
 
 class TestMetricProperties:
@@ -142,7 +143,7 @@ class TestMetricProperties:
         rng.shuffle(labels)
         auc = roc_auc(scores, labels)
         flipped = roc_auc(-scores, labels)
-        assert auc + flipped == pytest.approx(1.0, abs=1e-9)
+        assert auc + flipped == pytest.approx(1.0, abs=FLOAT64_ASSOC_ATOL)
 
     @settings(max_examples=20, deadline=None)
     @given(st.integers(0, 10_000), st.floats(0.05, 0.95))

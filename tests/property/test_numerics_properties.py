@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
+from helpers import FLOAT64_ASSOC_ATOL, FLOAT64_EXACT_ATOL
 from repro.utils.numerics import (
     binary_to_sign,
     log1pexp,
@@ -33,18 +34,18 @@ class TestSigmoidProperties:
     def test_symmetry(self, x):
         a = sigmoid(np.array([x]))[0]
         b = sigmoid(np.array([-x]))[0]
-        assert a + b == pytest.approx(1.0, abs=1e-9)
+        assert a + b == pytest.approx(1.0, abs=FLOAT64_ASSOC_ATOL)
 
     @given(small_floats, small_floats)
     def test_monotonicity(self, x, y):
         low, high = min(x, y), max(x, y)
-        assert sigmoid(np.array([low]))[0] <= sigmoid(np.array([high]))[0] + 1e-12
+        assert sigmoid(np.array([low]))[0] <= sigmoid(np.array([high]))[0] + FLOAT64_EXACT_ATOL
 
     @given(small_floats)
     def test_log_sigmoid_consistency(self, x):
         assert log_sigmoid(np.array([x]))[0] <= 0.0
         np.testing.assert_allclose(
-            np.exp(log_sigmoid(np.array([x])))[0], sigmoid(np.array([x]))[0], atol=1e-9
+            np.exp(log_sigmoid(np.array([x])))[0], sigmoid(np.array([x]))[0], atol=FLOAT64_ASSOC_ATOL
         )
 
 
@@ -52,24 +53,27 @@ class TestLog1pexpProperties:
     @given(finite_floats)
     def test_lower_bounds(self, x):
         value = log1pexp(np.array([x]))[0]
-        assert value >= max(x, 0.0) - 1e-9
+        assert value >= max(x, 0.0) - FLOAT64_ASSOC_ATOL
 
     @given(small_floats)
     def test_exact_identity(self, x):
-        np.testing.assert_allclose(log1pexp(np.array([x]))[0], np.log1p(np.exp(x)), rtol=1e-9)
+        np.testing.assert_allclose(
+            log1pexp(np.array([x]))[0], np.log1p(np.exp(x)), rtol=FLOAT64_ASSOC_ATOL
+        )
 
 
 class TestLogsumexpProperties:
     @given(float_arrays)
     def test_bounds(self, values):
         result = logsumexp(values)
-        assert result >= values.max() - 1e-9
-        assert result <= values.max() + np.log(values.size) + 1e-9
+        assert result >= values.max() - FLOAT64_ASSOC_ATOL
+        assert result <= values.max() + np.log(values.size) + FLOAT64_ASSOC_ATOL
 
     @given(float_arrays, small_floats)
     def test_shift_invariance(self, values, shift):
         np.testing.assert_allclose(
-            logsumexp(values + shift), logsumexp(values) + shift, rtol=1e-9, atol=1e-9
+            logsumexp(values + shift), logsumexp(values) + shift,
+            rtol=FLOAT64_ASSOC_ATOL, atol=FLOAT64_ASSOC_ATOL
         )
 
 
@@ -78,7 +82,7 @@ class TestSoftmaxProperties:
     def test_rows_are_distributions(self, matrix):
         probabilities = softmax(matrix, axis=1)
         assert np.all(probabilities >= 0)
-        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-9)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=FLOAT64_ASSOC_ATOL)
 
 
 class TestSpinConversionProperties:

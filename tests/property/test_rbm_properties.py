@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from helpers import FLOAT64_ASSOC_ATOL, FLOAT64_FUNC_ATOL
 from repro.rbm import BernoulliRBM, exact_log_partition, exact_visible_distribution
 from repro.utils.numerics import logsumexp
 
@@ -40,14 +41,14 @@ class TestFreeEnergyProperties:
             dtype=float,
         )
         energies = np.array([rbm.energy(v, h)[0] for h in h_states])
-        assert rbm.free_energy(v)[0] == pytest.approx(float(-logsumexp(-energies)), abs=1e-8)
+        assert rbm.free_energy(v)[0] == pytest.approx(float(-logsumexp(-energies)), abs=FLOAT64_FUNC_ATOL)
 
     @settings(max_examples=25, deadline=None)
     @given(rbm_strategy)
     def test_visible_distribution_normalizes(self, rbm):
         distribution = exact_visible_distribution(rbm)
         assert distribution.min() >= 0.0
-        assert distribution.sum() == pytest.approx(1.0, abs=1e-9)
+        assert distribution.sum() == pytest.approx(1.0, abs=FLOAT64_ASSOC_ATOL)
 
     @settings(max_examples=25, deadline=None)
     @given(rbm_strategy)
@@ -59,8 +60,8 @@ class TestFreeEnergyProperties:
         )
         free_energies = rbm.free_energy(states)
         log_z = exact_log_partition(rbm)
-        assert log_z >= -free_energies.max() - 1e-9
-        assert log_z <= -free_energies.min() + np.log(states.shape[0]) + 1e-9
+        assert log_z >= -free_energies.max() - FLOAT64_ASSOC_ATOL
+        assert log_z <= -free_energies.min() + np.log(states.shape[0]) + FLOAT64_ASSOC_ATOL
 
 
 class TestConditionalProperties:
@@ -77,7 +78,7 @@ class TestConditionalProperties:
         joint /= joint.sum()
         expected = joint @ h_states
         np.testing.assert_allclose(
-            rbm.hidden_activation_probability(v)[0], expected, atol=1e-8
+            rbm.hidden_activation_probability(v)[0], expected, atol=FLOAT64_FUNC_ATOL
         )
 
     @settings(max_examples=25, deadline=None)
@@ -106,7 +107,7 @@ class TestEnergyProperties:
         bias[0] += 1.7
         shifted.set_parameters(shifted.weights, bias, shifted.hidden_bias)
         after = shifted.energy(v, h)[0]
-        assert after == pytest.approx(before - 1.7, abs=1e-9)
+        assert after == pytest.approx(before - 1.7, abs=FLOAT64_ASSOC_ATOL)
 
     @settings(max_examples=25, deadline=None)
     @given(rbm_strategy)

@@ -6,6 +6,7 @@ BGF's weights respect the hardware range, and trained models remain valid
 probability models.
 """
 
+from helpers import FLOAT64_ASSOC_ATOL
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -85,10 +86,10 @@ class TestHardwareTrainerProperties:
         trainer = BGFTrainer(0.1, config=config, rng=seed)
         trainer.train(rbm, data, epochs=2)
         machine_weights, machine_bv, machine_bh = trainer.machine.substrate.read_parameters()
-        assert machine_weights.min() >= -half_range - 1e-9
-        assert machine_weights.max() <= half_range + 1e-9
-        assert machine_bv.min() >= -half_range - 1e-9
-        assert machine_bh.max() <= half_range + 1e-9
+        assert machine_weights.min() >= -half_range - FLOAT64_ASSOC_ATOL
+        assert machine_weights.max() <= half_range + FLOAT64_ASSOC_ATOL
+        assert machine_bv.min() >= -half_range - FLOAT64_ASSOC_ATOL
+        assert machine_bh.max() <= half_range + FLOAT64_ASSOC_ATOL
 
     @settings(max_examples=6, deadline=None)
     @given(seed=st.integers(0, 1000))

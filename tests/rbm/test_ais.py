@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from helpers import FLOAT64_ASSOC_ATOL
 from repro.rbm import (
     AISEstimator,
     BernoulliRBM,
@@ -12,11 +13,13 @@ from repro.rbm import (
     exact_log_likelihood,
     exact_log_partition,
 )
+from repro.utils.numerics import log1pexp, log1pexp_diff
 from repro.utils.validation import ValidationError
 
 #: float64 tolerance for the vectorized-vs-loop regression: the two paths
-#: draw identical samples and differ only in accumulation association.
-FLOAT64_ATOL = 1e-9
+#: draw identical samples and differ only in accumulation association /
+#: the fused-kernel factoring (see tests/helpers/tolerances.py).
+FLOAT64_ATOL = FLOAT64_ASSOC_ATOL
 
 
 @pytest.fixture
@@ -138,6 +141,74 @@ class TestVectorizedSweepRegression:
             trained_tiny_rbm, n_chains=30, n_betas=60, rng=2, fast_path=False
         )
         assert fast == pytest.approx(loop, abs=FLOAT64_ATOL)
+
+
+class TestFusedLog1pexpDiffKernel:
+    """The fused softplus-difference kernel behind the fast AIS sweep.
+
+    Reference is the two-softplus form ``log1pexp(hi*x) - log1pexp(lo*x)``
+    built from the already-pinned :func:`log1pexp`; the fused kernel factors
+    the shared ``max(x, 0)`` term, so agreement is at float64 reassociation
+    tolerance, including the extreme-beta and saturated-field corners the
+    AIS schedule actually visits.
+    """
+
+    def _reference(self, x, hi, lo):
+        return log1pexp(hi * x) - log1pexp(lo * x)
+
+    def test_matches_loop_reference_on_random_fields(self):
+        x = np.random.default_rng(0).normal(0.0, 5.0, (64, 33))
+        for hi, lo in [(1.0, 0.99), (0.5, 0.25), (0.01, 0.0), (1.0, 0.0)]:
+            np.testing.assert_allclose(
+                log1pexp_diff(x, hi, lo),
+                self._reference(x, hi, lo),
+                atol=FLOAT64_ATOL,
+                rtol=FLOAT64_ATOL,
+            )
+
+    def test_adjacent_ais_betas(self):
+        """The actual schedule geometry: thousands of near-equal betas."""
+        x = np.random.default_rng(1).normal(0.0, 3.0, 200)
+        betas = np.linspace(0.0, 1.0, 500).tolist()
+        for lo, hi in zip(betas[:-1], betas[1:]):
+            np.testing.assert_allclose(
+                log1pexp_diff(x, hi, lo),
+                self._reference(x, hi, lo),
+                atol=FLOAT64_ATOL,
+            )
+
+    def test_extreme_fields_stay_finite_and_exact(self):
+        """Saturated fields: large positive -> (hi-lo)*x exactly (both
+        log1p terms vanish), large negative -> 0; never inf/nan."""
+        x = np.array([-1e6, -745.0, -100.0, 0.0, 100.0, 745.0, 1e6])
+        out = log1pexp_diff(x, 0.8, 0.3)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out[x >= 100.0], 0.5 * x[x >= 100.0], rtol=1e-12)
+        # Deep negative saturation decays through exp(lo*x): ~1e-97 at -745,
+        # exactly 0.0 once exp underflows entirely.
+        np.testing.assert_allclose(out[x <= -745.0], 0.0, atol=1e-30)
+        np.testing.assert_allclose(
+            out[x == -100.0], np.exp(-80.0) - np.exp(-30.0), rtol=1e-9
+        )
+
+    def test_equal_betas_give_zero(self):
+        x = np.random.default_rng(2).normal(0.0, 10.0, 50)
+        np.testing.assert_array_equal(log1pexp_diff(x, 0.4, 0.4), np.zeros(50))
+
+    def test_invalid_beta_order_rejected(self):
+        x = np.zeros(3)
+        with pytest.raises(ValueError):
+            log1pexp_diff(x, 0.2, 0.5)
+        with pytest.raises(ValueError):
+            log1pexp_diff(x, 0.5, -0.1)
+
+    def test_dtype_preserving(self):
+        x32 = np.random.default_rng(3).normal(0.0, 2.0, 40).astype(np.float32)
+        out = log1pexp_diff(x32, 0.7, 0.6)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(
+            out, self._reference(x32.astype(float), 0.7, 0.6), atol=1e-5
+        )
 
 
 class TestAverageLogProbability:
