@@ -1,12 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-compare bench-compare-ci artifacts
+.PHONY: test test-workers bench bench-compare bench-compare-ci artifacts
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Run the kernel benchmark harness and refresh the evidence file.
+## Multicore leg of the CI matrix: the FULL tier-1 suite with the
+## REPRO_WORKERS default set, so every eligible settle/AIS call runs
+## through the sharded execution layer (bit-identity suites pin their own
+## serial contract and are env-robust; see docs/performance.md).
+test-workers:
+	REPRO_WORKERS=2 $(PYTHON) -m pytest -x -q
+
+## Run the kernel benchmark harness and refresh the evidence file
+## (includes the multicore *_workers4 entries; their speedup is bounded by
+## the machine's core count, recorded in the JSON's meta.cpu_count).
 bench:
 	$(PYTHON) benchmarks/bench_kernels.py --output benchmarks/BENCH_kernels.json
 

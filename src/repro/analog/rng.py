@@ -121,6 +121,27 @@ class StochasticNeuronSampler:
         )
         self.n_units = int(n_units)
 
+    def spawn_substream(self, rng: SeedLike) -> "StochasticNeuronSampler":
+        """A sampler view drawing its thermal noise from ``rng``.
+
+        The sharded settle kernel gives every worker shard its own clone so
+        concurrent shards never contend on (or nondeterministically
+        interleave) one generator.  The clone shares the *static* hardware
+        state by reference — the comparator (and therefore its fixed
+        per-unit offsets) is the same physical circuit — while the thermal
+        noise source, the only stateful draw in the trusted sampling path,
+        gets the dedicated substream.
+        """
+        clone = object.__new__(StochasticNeuronSampler)
+        clone.noise_source = ThermalNoiseRNG(
+            self.noise_source.distribution,
+            gaussian_sigma=self.noise_source.gaussian_sigma,
+            rng=rng,
+        )
+        clone.comparator = self.comparator
+        clone.n_units = self.n_units
+        return clone
+
     @property
     def supports_fused(self) -> bool:
         """Whether the fused sigmoid→compare latch is available for this node.

@@ -26,6 +26,7 @@ from repro.core.host import HostStatistics
 from repro.ising.bipartite import BipartiteIsingSubstrate
 from repro.rbm.rbm import BernoulliRBM, TrainingHistory
 from repro.utils.batching import minibatches
+from repro.utils.parallel import resolve_workers
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import ValidationError, check_array, check_positive
 
@@ -120,14 +121,30 @@ class GibbsSamplerMachine:
         self.host.record_sample_read()
         return h_pos
 
-    def negative_phase(self, h_init: np.ndarray, cd_k: int) -> tuple[np.ndarray, np.ndarray]:
-        """Let the substrate evolve for ``cd_k`` steps from the hidden state."""
-        v_neg, h_neg = self.substrate.gibbs_chain(h_init, cd_k)
+    def negative_phase(
+        self,
+        h_init: np.ndarray,
+        cd_k: int,
+        *,
+        workers: "int | str | None" = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Let the substrate evolve for ``cd_k`` steps from the hidden state.
+
+        ``workers`` forwards to the substrate's sharded settle layer (the
+        hidden rows are independent chains, so a minibatch-seeded negative
+        phase shards exactly like a PCD pool).
+        """
+        v_neg, h_neg = self.substrate.gibbs_chain(h_init, cd_k, workers=workers)
         self.host.record_sample_read(2)
         return v_neg, h_neg
 
     def negative_phase_chains(
-        self, chains_h: np.ndarray, cd_k: int, *, batch_chains: bool = True
+        self,
+        chains_h: np.ndarray,
+        cd_k: int,
+        *,
+        batch_chains: bool = True,
+        workers: "int | str | None" = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Advance ``p`` independent negative chains by ``cd_k`` steps each.
 
@@ -141,10 +158,14 @@ class GibbsSamplerMachine:
         ``tests/property/test_chain_statistics.py``) but not bit-for-bit
         when ``p > 1``.  The sequential mode exists for benchmarking the
         chain-parallel kernel against repeated single-chain settles.
+
+        ``workers`` forwards to the substrate's sharded settle layer
+        (:mod:`repro.utils.parallel`); the sequential benchmarking mode
+        ignores it — it is the serial baseline by definition.
         """
         chains_h = np.atleast_2d(np.asarray(chains_h, dtype=float))
         if batch_chains or chains_h.shape[0] == 1:
-            v_neg, h_neg = self.substrate.settle_batch(chains_h, cd_k)
+            v_neg, h_neg = self.substrate.settle_batch(chains_h, cd_k, workers=workers)
         else:
             pairs = [
                 self.substrate.gibbs_chain(chains_h[i : i + 1], cd_k)
@@ -185,6 +206,14 @@ class GibbsSamplerTrainer:
         single-chain fast path (the benchmarking baseline for the
         chain-parallel kernel).  Statistically equivalent; bit-identical
         only for ``p = 1``.
+    workers:
+        Multicore knob for the negative phase: forwarded to the substrate's
+        sharded ``settle_batch`` layer, which splits the chain block across
+        a thread pool with per-shard RNG substreams.  ``None`` (default)
+        defers to ``REPRO_WORKERS``/1 — the serial, bit-identical kernel —
+        and ``"auto"`` resolves to the core count; ``workers=k > 1`` runs
+        are reproducible for fixed seed and ``k`` but pinned statistically
+        across worker counts (``tests/property/test_parallel_statistics.py``).
     machine:
         Optional pre-built machine (useful to share one across layers or to
         configure its noise); when omitted, a machine matching the RBM's
@@ -221,6 +250,7 @@ class GibbsSamplerTrainer:
         chains: int = 1,
         persistent: bool = False,
         chain_batch: bool = True,
+        workers: "int | str | None" = None,
         weight_decay: float = 0.0,
         machine: Optional[GibbsSamplerMachine] = None,
         noise_config: Optional[NoiseConfig] = None,
@@ -241,6 +271,11 @@ class GibbsSamplerTrainer:
         self.chains = int(chains)
         self.persistent = bool(persistent)
         self.chain_batch = bool(chain_batch)
+        if workers is not None:
+            # Fail fast on a typo'd shard count; None stays deferred so the
+            # REPRO_WORKERS environment default is read per settle call.
+            resolve_workers(workers)
+        self.workers = workers
         self.weight_decay = check_positive(weight_decay, name="weight_decay", strict=False)
         self.machine = machine
         self.noise_config = noise_config
@@ -331,10 +366,13 @@ class GibbsSamplerTrainer:
                 # Steps 3-6: positive and negative phases on the substrate.
                 h_pos = machine.positive_phase(batch)
                 if not chain_engine:
-                    v_neg, h_neg = machine.negative_phase(h_pos, self.cd_k)
+                    v_neg, h_neg = machine.negative_phase(
+                        h_pos, self.cd_k, workers=self.workers
+                    )
                 elif self.persistent:
                     v_neg, h_neg = machine.negative_phase_chains(
-                        self._chains_h, self.cd_k, batch_chains=self.chain_batch
+                        self._chains_h, self.cd_k,
+                        batch_chains=self.chain_batch, workers=self.workers,
                     )
                     self._chains_h = h_neg
                 else:
@@ -343,7 +381,8 @@ class GibbsSamplerTrainer:
                     # statistics with a decoupled chain count.
                     seed_rows = np.resize(np.arange(batch.shape[0]), self.chains)
                     v_neg, h_neg = machine.negative_phase_chains(
-                        h_pos[seed_rows], self.cd_k, batch_chains=self.chain_batch
+                        h_pos[seed_rows], self.cd_k,
+                        batch_chains=self.chain_batch, workers=self.workers,
                     )
 
                 # Step 8: host computes the gradient from the read-out samples.

@@ -38,6 +38,7 @@ from repro.core.host import HostStatistics
 from repro.ising.bipartite import BipartiteIsingSubstrate
 from repro.rbm.rbm import BernoulliRBM, TrainingHistory
 from repro.utils.numerics import bernoulli_sample
+from repro.utils.parallel import resolve_workers
 from repro.utils.rng import SeedLike, as_rng, spawn_rngs
 from repro.utils.validation import ValidationError, check_array, check_positive
 
@@ -209,7 +210,9 @@ class BoltzmannGradientFollower:
         ).astype(float)
         self._particle_cursor = 0
 
-    def refresh_particles(self, n_steps: int = 1) -> None:
+    def refresh_particles(
+        self, n_steps: int = 1, *, workers: "int | str | None" = None
+    ) -> None:
         """Advance *all* ``p`` persistent particles through one chain-parallel
         settle batch (``settle_batch``), without touching the weights.
 
@@ -217,11 +220,15 @@ class BoltzmannGradientFollower:
         sample, mid-step updates), but decorrelating the particle pool —
         after initialization, or between epochs — has no such constraint, so
         it can use the substrate's batched kernel: ``n_steps`` settles of the
-        whole ``(p, n)`` block as single matmuls.
+        whole ``(p, n)`` block as single matmuls — or, with ``workers=k``,
+        as ``k`` thread-parallel shards (the multicore layer; see
+        :meth:`~repro.ising.bipartite.BipartiteIsingSubstrate.settle_batch`).
         """
         if self._particles is None:
             raise ValidationError("initialize must be called before refresh_particles")
-        _, hidden = self.substrate.settle_batch(self._particles, n_steps)
+        _, hidden = self.substrate.settle_batch(
+            self._particles, n_steps, workers=workers
+        )
         self._particles = hidden
 
     # ------------------------------------------------------------------ #
@@ -417,6 +424,12 @@ class BGFTrainer:
         pool right after initialization (via
         :meth:`BoltzmannGradientFollower.refresh_particles`).  0 (default)
         skips the refresh and reproduces the original behavior exactly.
+    workers:
+        Multicore knob for the particle-pool refresh (the burn-in settles
+        shard across a thread pool; see :mod:`repro.utils.parallel`).  The
+        in-sample learning loop is strictly sequential by algorithm — the
+        paper's mid-step updates serialize it — so ``workers`` touches only
+        the pool refresh.  ``None`` defers to ``REPRO_WORKERS``/1.
     epochs_per_call:
         Ignored; present only for signature compatibility notes.  The epoch
         count is passed to :meth:`train` like the other trainers.
@@ -432,6 +445,7 @@ class BGFTrainer:
         *,
         reference_batch_size: int = 50,
         particle_burn_in: int = 0,
+        workers: "int | str | None" = None,
         config: Optional[BGFConfig] = None,
         noise_config: Optional[NoiseConfig] = None,
         rng: SeedLike = None,
@@ -452,6 +466,9 @@ class BGFTrainer:
             config = BGFConfig(step_size=learning_rate / reference_batch_size)
         self.config = config
         self.particle_burn_in = int(particle_burn_in)
+        if workers is not None:
+            resolve_workers(workers)  # fail fast; None defers to the env
+        self.workers = workers
         self.noise_config = noise_config
         self._rng = as_rng(rng)
         self.callback = callback
@@ -506,7 +523,7 @@ class BGFTrainer:
             # Decorrelate the freshly-drawn particle pool before learning;
             # the default of 0 keeps runs bit-identical to the no-burn-in
             # implementation (the refresh draws from the substrate streams).
-            machine.refresh_particles(self.particle_burn_in)
+            machine.refresh_particles(self.particle_burn_in, workers=self.workers)
 
         history = TrainingHistory()
         for epoch in range(epochs):

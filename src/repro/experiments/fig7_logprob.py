@@ -46,6 +46,10 @@ PAPER_FIGURE7_CONFIG: Dict[str, object] = {
     "dtype": "float32",
     "ais_chains": 64,
     "ais_betas": 500,
+    # Multicore layer: shard the PCD settles and the AIS chain pool across
+    # the machine's cores (resolved per host; 1 core degrades gracefully to
+    # the serial kernels).  See docs/performance.md for the RNG contract.
+    "workers": "auto",
 }
 
 
@@ -57,6 +61,7 @@ def _logprob_recorder(
     n_betas: int,
     seed: int,
     dtype: str = "float64",
+    workers=None,
 ):
     """Build a per-epoch callback appending the AIS average log probability."""
 
@@ -64,7 +69,7 @@ def _logprob_recorder(
         trajectory.append(
             average_log_probability(
                 rbm, data, n_chains=n_chains, n_betas=n_betas, rng=seed + epoch,
-                dtype=dtype,
+                dtype=dtype, workers=workers,
             )
         )
 
@@ -84,6 +89,7 @@ def run_figure7(
     methods: Sequence[str] = FIGURE7_METHODS,
     dtype: str = "float64",
     train_samples: Optional[int] = None,
+    workers: "int | str | None" = None,
     seed: int = 0,
 ) -> ExperimentResult:
     """Train with CD-1, CD-10 and BGF and record log-probability trajectories.
@@ -100,7 +106,11 @@ def run_figure7(
     ``gs_chains`` set records only the GS trajectory); ``dtype`` picks the
     substrate/AIS precision tier for the hardware methods (``"float32"`` is
     the paper-scale configuration; software CD always trains in float64);
-    ``train_samples`` caps the training rows (downsized smoke runs).  The
+    ``train_samples`` caps the training rows (downsized smoke runs);
+    ``workers`` is the multicore knob, threaded into the GS trainer's
+    sharded negative phase, the BGF trainer's particle refresh, and the
+    AIS estimator's threaded chain pool (``"auto"`` = core count; the
+    default of ``None`` keeps the serial, bit-identical kernels).  The
     defaults leave the CI-scale output contract untouched — pinned by
     ``tests/experiments/test_golden_schemas.py``.
     """
@@ -133,7 +143,7 @@ def run_figure7(
         base_rbm.init_visible_bias_from_data(data)
         initial_logprob = average_log_probability(
             base_rbm, data, n_chains=ais_chains, n_betas=ais_betas, rng=seed,
-            dtype=dtype,
+            dtype=dtype, workers=workers,
         )
 
         factories = {
@@ -145,7 +155,7 @@ def run_figure7(
             ),
             "BGF": lambda: BGFTrainer(
                 learning_rate, reference_batch_size=batch_size, rng=rngs[3],
-                dtype=dtype,
+                dtype=dtype, workers=workers,
             ),
         }
         trainers = {m: factories[m]() for m in FIGURE7_METHODS if m in methods}
@@ -158,6 +168,7 @@ def run_figure7(
                 persistent=True,
                 rng=rngs[4],
                 dtype=dtype,
+                workers=workers,
             )
         for method_name, trainer in trainers.items():
             # Epoch 0 is the shared untrained starting point; epochs 1..E are
@@ -165,7 +176,7 @@ def run_figure7(
             trajectory: List[float] = [float(initial_logprob)]
             trainer.callback = _logprob_recorder(
                 data, trajectory, n_chains=ais_chains, n_betas=ais_betas, seed=seed,
-                dtype=dtype,
+                dtype=dtype, workers=workers,
             )
             rbm = base_rbm.copy()
             trainer.train(rbm, data, epochs=epochs)
@@ -194,6 +205,7 @@ def run_figure7(
             "methods": tuple(methods),
             "dtype": str(dtype),
             "train_samples": train_samples,
+            "workers": workers,
             "seed": seed,
         },
     )

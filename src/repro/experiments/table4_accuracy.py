@@ -42,18 +42,20 @@ TABLE4_IMAGE_BENCHMARKS: Sequence[str] = (
 
 def _make_trainer(
     method: str, *, learning_rate: float, batch_size: int, rng, gs_chains: int = 8,
-    dtype: str = "float64",
+    dtype: str = "float64", workers=None,
 ):
     """Build the per-layer trainer for ``method`` ('cd10', 'bgf' or 'gs').
 
     ``dtype`` selects the substrate precision tier for the hardware methods
     (BGF and GS); the software CD reference always trains in float64.
+    ``workers`` threads the hardware methods' sharded settle layer.
     """
     if method == "cd10":
         return CDTrainer(learning_rate, cd_k=10, batch_size=batch_size, rng=rng)
     if method == "bgf":
         return BGFTrainer(
-            learning_rate, reference_batch_size=batch_size, rng=rng, dtype=dtype
+            learning_rate, reference_batch_size=batch_size, rng=rng, dtype=dtype,
+            workers=workers,
         )
     if method == "gs":
         # Gibbs-sampler architecture with the multi-chain PCD negative phase
@@ -66,6 +68,7 @@ def _make_trainer(
             persistent=True,
             rng=rng,
             dtype=dtype,
+            workers=workers,
         )
     raise ValueError(f"unknown method {method!r}")
 
@@ -81,7 +84,7 @@ def _standardize(train: np.ndarray, test: np.ndarray) -> tuple:
 def _rbm_feature_accuracy(
     dataset, n_hidden: int, method: str, *, epochs: int, learning_rate: float,
     batch_size: int, seed: int, gs_chains: int = 8, dtype: str = "float64",
-    train_samples: Optional[int] = None,
+    train_samples: Optional[int] = None, workers=None,
 ) -> float:
     """Accuracy of a logistic head on single-RBM features trained by ``method``."""
     rngs = spawn_rngs(seed, 3)
@@ -93,7 +96,7 @@ def _rbm_feature_accuracy(
     rbm.init_visible_bias_from_data(train_x)
     trainer = _make_trainer(
         method, learning_rate=learning_rate, batch_size=batch_size, rng=rngs[1],
-        gs_chains=gs_chains, dtype=dtype,
+        gs_chains=gs_chains, dtype=dtype, workers=workers,
     )
     trainer.train(rbm, train_x, epochs=epochs)
     features_train, features_test = _standardize(
@@ -142,6 +145,7 @@ def run_table4(
     gs_chains: Optional[int] = None,
     dtype: str = "float64",
     train_samples: Optional[int] = None,
+    workers: "int | str | None" = None,
     seed: int = 0,
 ) -> ExperimentResult:
     """Regenerate Table 4: quality metric per benchmark for cd-10 and BGF.
@@ -153,8 +157,11 @@ def run_table4(
     training in the single-precision substrate tier (the paper-scale
     configuration; the logistic/DBN heads and software CD stay float64);
     ``train_samples`` caps the image-benchmark training rows for downsized
-    smoke runs.  The defaults leave the CI-scale output contract untouched
-    — pinned by ``tests/experiments/test_golden_schemas.py``.
+    smoke runs; ``workers`` is the multicore knob for the hardware trainers
+    (sharded settles / particle refresh; ``"auto"`` = core count, ``None``
+    keeps the serial kernels).  The defaults leave the CI-scale output
+    contract untouched — pinned by
+    ``tests/experiments/test_golden_schemas.py``.
     """
     rbm_methods = ("cd10", "bgf") + (("gs",) if gs_chains else ())
     rows: List[Dict[str, object]] = []
@@ -169,7 +176,7 @@ def run_table4(
                 epochs=epochs, learning_rate=learning_rate,
                 batch_size=batch_size, seed=seed + index,
                 gs_chains=gs_chains or 8, dtype=dtype,
-                train_samples=train_samples,
+                train_samples=train_samples, workers=workers,
             )
         if include_dbn and cfg.has_dbn:
             layers = (
@@ -238,6 +245,7 @@ def run_table4(
             "gs_chains": gs_chains,
             "dtype": str(dtype),
             "train_samples": train_samples,
+            "workers": workers,
             "seed": seed,
         },
     )
@@ -257,6 +265,9 @@ PAPER_TABLE4_CONFIG: Dict[str, object] = {
     "epochs": 10,
     "gs_chains": 8,
     "dtype": "float32",
+    # Multicore layer: shard the hardware trainers' settles across the
+    # machine's cores (1 core degrades gracefully to the serial kernels).
+    "workers": "auto",
 }
 
 

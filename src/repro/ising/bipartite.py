@@ -24,7 +24,8 @@ exactly as in the paper's Sec. 4.5 robustness study.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import threading
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -32,8 +33,29 @@ from repro.analog.converters import DigitalToTimeConverter
 from repro.analog.noise import NoiseConfig, NoiseModel
 from repro.analog.rng import StochasticNeuronSampler
 from repro.analog.sigmoid_unit import SigmoidUnit
+from repro.utils.parallel import (
+    ShardedExecutor,
+    resolve_workers,
+    shard_seed_sequence,
+    shard_slices,
+)
 from repro.utils.rng import SeedLike, as_rng, spawn_rngs
 from repro.utils.validation import ValidationError, check_array, check_binary
+
+
+class _ShardContext(NamedTuple):
+    """Per-worker-shard sampling circuits for the sharded settle kernel.
+
+    Each shard owns clones of the samplers (and, in noisy corners, of the
+    noise model) whose *streams* are dedicated SeedSequence substreams while
+    their *static* hardware state — comparator offsets, the chip's
+    variation draw — is shared by reference with the substrate's own
+    circuits (see ``spawn_substream`` on each class).
+    """
+
+    hidden_sampler: StochasticNeuronSampler
+    visible_sampler: StochasticNeuronSampler
+    noise_model: Optional[NoiseModel]
 
 
 class BipartiteIsingSubstrate:
@@ -107,7 +129,11 @@ class BipartiteIsingSubstrate:
             )
         self.noise_config = noise_config if noise_config is not None else NoiseConfig()
 
-        streams = spawn_rngs(rng, 6)
+        # Stream 6 is the shard-substream root for the multicore settle
+        # kernel; spawning 7 children leaves streams 0-5 bit-identical to
+        # the historical 6-stream spawn (SeedSequence children are keyed by
+        # index), so serial runs are unchanged by the layer's existence.
+        streams = spawn_rngs(rng, 7)
         self.noise_model = NoiseModel(
             self.noise_config, (self.n_visible, self.n_hidden), rng=streams[0]
         )
@@ -155,7 +181,28 @@ class BipartiteIsingSubstrate:
         # Cached (effective, effective.T) pair of the variation-scaled
         # coupling matrix; rebuilt lazily after (re)programming or an
         # explicit invalidation (the BGF's in-place charge-pump updates).
+        # The build is guarded by a lock so concurrent settles on one
+        # substrate can never observe a half-built pair or crash on an
+        # invalidation that lands between the None-check and the unpack;
+        # draw-stream determinism under external concurrency is still
+        # single-owner (see docs/performance.md, "Thread safety").
         self._eff_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._cache_lock = threading.Lock()
+        # Per-worker-count shard circuits, built lazily from the shard
+        # seed root (stream 6) and cached so shard streams stay stateful
+        # across settle calls — fixed (seed, workers) is reproducible run
+        # to run.
+        self._shard_seed_root = streams[6].bit_generator.seed_seq
+        if self._shard_seed_root is None:  # pragma: no cover - defensive
+            self._shard_seed_root = np.random.SeedSequence()
+        self._shard_contexts: Dict[int, List[_ShardContext]] = {}
+        # The serial path is just the shared evaluation kernel running on
+        # the substrate's own circuits (see _settle_eval).
+        self._serial_context = _ShardContext(
+            hidden_sampler=self.hidden_sampler,
+            visible_sampler=self.visible_sampler,
+            noise_model=self.noise_model if self._has_dynamic else None,
+        )
 
     # ------------------------------------------------------------------ #
     # Programming interface (the "Programming Logic" block of Fig. 3)
@@ -257,21 +304,51 @@ class BipartiteIsingSubstrate:
         configured, is still applied per call, in the same draw order as the
         legacy per-settle path.
         """
-        if self._eff_cache is None:
-            # The variation product is drawn/scaled in float64 and quantized
-            # into the substrate tier once per (re)programming; in the ideal
-            # corner static_effective aliases self.weights, already in tier.
-            static = np.asarray(
-                self.noise_model.static_effective(self.weights), dtype=self.dtype
-            )
-            self._eff_cache = (static, static.T)
-        static, static_t = self._eff_cache
-        if self._has_dynamic:
-            effective = np.asarray(
-                self.noise_model.apply_dynamic(static), dtype=self.dtype
-            )
-            return effective, effective.T
-        return static, static_t
+        return self._dynamic_pair(
+            self._static_pair(), self.noise_model if self._has_dynamic else None
+        )
+
+    def _dynamic_pair(
+        self,
+        static_pair: Tuple[np.ndarray, np.ndarray],
+        noise_model: Optional[NoiseModel],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Apply fresh dynamic coupling noise (when configured) to the cached
+        static pair — the per-evaluation half of the coupling realization,
+        shared by the serial and sharded kernels (``noise_model`` selects
+        whose stream draws; ``None`` means the ideal no-noise corner)."""
+        if noise_model is None:
+            return static_pair
+        effective = np.asarray(
+            noise_model.apply_dynamic(static_pair[0]), dtype=self.dtype
+        )
+        return effective, effective.T
+
+    def _static_pair(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The cached static (variation-scaled) coupling pair, built safely.
+
+        Double-checked locking: the cache is read once into a local (an
+        ``invalidate_effective_weights`` racing in from another thread can
+        therefore never turn a passed None-check into an unpack of None),
+        and the build itself is serialized so concurrent settles agree on
+        one ``(effective, effective.T)`` pair.
+        """
+        cache = self._eff_cache
+        if cache is None:
+            with self._cache_lock:
+                cache = self._eff_cache
+                if cache is None:
+                    # The variation product is drawn/scaled in float64 and
+                    # quantized into the substrate tier once per
+                    # (re)programming; in the ideal corner static_effective
+                    # aliases self.weights, already in tier.
+                    static = np.asarray(
+                        self.noise_model.static_effective(self.weights),
+                        dtype=self.dtype,
+                    )
+                    cache = (static, static.T)
+                    self._eff_cache = cache
+        return cache
 
     def _effective_weights(self) -> np.ndarray:
         """Coupling weights as realized by the array for this evaluation."""
@@ -280,22 +357,30 @@ class BipartiteIsingSubstrate:
         return self.noise_model.perturbed_coupling(self.weights)
 
     def _field(
-        self, state: np.ndarray, coupling: np.ndarray, bias: np.ndarray
+        self,
+        state: np.ndarray,
+        coupling: np.ndarray,
+        bias: np.ndarray,
+        noise_model: Optional[NoiseModel] = None,
     ) -> np.ndarray:
         """Fast-path field kernel: summed currents plus (conditional) node
         noise.  Single source shared by the public field methods and the
-        trusted samplers, so they cannot drift apart.  Runs in the
+        trusted/sharded samplers, so they cannot drift apart.  Runs in the
         substrate's precision tier: the state is cast into the coupling's
         dtype when needed (a no-op on the float64 tier), the matmul runs in
         that dtype, and in-place adds keep dynamic float64 noise draws from
-        upcasting a float32 field."""
+        upcasting a float32 field.  ``noise_model`` selects whose stream the
+        node noise draws from (a worker shard's substream clone); ``None``
+        means the substrate's own."""
         if state.dtype != coupling.dtype:
             state = state.astype(coupling.dtype)
         field = state @ coupling
         field += bias
         if self._has_dynamic:
+            if noise_model is None:
+                noise_model = self.noise_model
             scale = max(float(np.std(field)), 1.0)
-            field += self.noise_model.node_noise(field.shape, scale=scale)
+            field += noise_model.node_noise(field.shape, scale=scale)
         return field
 
     def hidden_field(self, visible: np.ndarray) -> np.ndarray:
@@ -326,25 +411,47 @@ class BipartiteIsingSubstrate:
         """Sigmoid-unit output voltages at the visible nodes."""
         return self.visible_sigmoid(self.visible_field(hidden))
 
-    def _sample_hidden_trusted(self, clamped: np.ndarray) -> np.ndarray:
-        """Trusted settle-and-latch: ``clamped`` is 2-D float, DTC-driven."""
-        effective, _ = self._effective_pair()
-        field = self._field(clamped, effective, self.hidden_bias)
+    def _settle_eval(
+        self,
+        state: np.ndarray,
+        static_pair: Tuple[np.ndarray, np.ndarray],
+        ctx: _ShardContext,
+        *,
+        hidden_side: bool,
+    ) -> np.ndarray:
+        """One settle-and-latch: the single evaluation kernel behind both
+        the serial trusted samplers and the sharded settle loop.
+
+        The per-evaluation order is fixed — dynamic coupling draw, field
+        (matmul + bias + node noise), latch — and ``ctx`` selects whose
+        circuits draw: the substrate's own (the serial path) or a worker
+        shard's substream clones.  One body means a future change to the
+        evaluation physics cannot diverge ``workers=1`` from ``workers=k``.
+        """
+        effective, effective_t = self._dynamic_pair(static_pair, ctx.noise_model)
+        coupling = effective if hidden_side else effective_t
+        bias = self.hidden_bias if hidden_side else self.visible_bias
+        field = self._field(state, coupling, bias, noise_model=ctx.noise_model)
+        sampler = ctx.hidden_sampler if hidden_side else ctx.visible_sampler
         if self._fused_sampling:
-            return self.hidden_sampler.sample_from_field(field)
-        latch = self.hidden_sampler.sample(self.hidden_sigmoid(field), validate=False)
+            return sampler.sample_from_field(field)
+        unit = self.hidden_sigmoid if hidden_side else self.visible_sigmoid
+        latch = sampler.sample(unit(field), validate=False)
         # Noisy-corner sigmoid math may run in float64; binary latches cast
         # back into the tier exactly, keeping chain states dtype-stable.
         return latch if latch.dtype == self.dtype else latch.astype(self.dtype)
 
+    def _sample_hidden_trusted(self, clamped: np.ndarray) -> np.ndarray:
+        """Trusted settle-and-latch: ``clamped`` is 2-D float, DTC-driven."""
+        return self._settle_eval(
+            clamped, self._static_pair(), self._serial_context, hidden_side=True
+        )
+
     def _sample_visible_trusted(self, hidden: np.ndarray) -> np.ndarray:
         """Trusted settle-and-latch: ``hidden`` is a 2-D binary latch state."""
-        _, effective_t = self._effective_pair()
-        field = self._field(hidden, effective_t, self.visible_bias)
-        if self._fused_sampling:
-            return self.visible_sampler.sample_from_field(field)
-        latch = self.visible_sampler.sample(self.visible_sigmoid(field), validate=False)
-        return latch if latch.dtype == self.dtype else latch.astype(self.dtype)
+        return self._settle_eval(
+            hidden, self._static_pair(), self._serial_context, hidden_side=False
+        )
 
     def sample_hidden_given_visible(self, visible: np.ndarray) -> np.ndarray:
         """Clamp the visible nodes and latch one hidden sample."""
@@ -361,10 +468,125 @@ class BipartiteIsingSubstrate:
         return self.visible_sampler.sample(self.visible_probability(hidden))
 
     # ------------------------------------------------------------------ #
+    # Sharded settles (the multicore execution layer)
+    # ------------------------------------------------------------------ #
+    def _shard_contexts_for(self, workers: int) -> List[_ShardContext]:
+        """Per-shard sampling circuits for a ``workers``-way settle.
+
+        Shard ``i`` of a ``workers=k`` run draws from substreams at the
+        deterministic spawn key ``(k, i)`` under the substrate's shard seed
+        root (stream 6 of the master spawn) — a pure function of the master
+        seed, so fixed ``(seed, workers)`` is reproducible run to run and
+        different worker counts never alias.  Contexts are cached per
+        worker count: their streams advance statefully across settle calls,
+        exactly like the serial samplers' streams do.
+        """
+        contexts = self._shard_contexts.get(workers)
+        if contexts is None:
+            contexts = []
+            for index in range(workers):
+                seq = shard_seed_sequence(self._shard_seed_root, workers, index)
+                h_rng, v_rng, n_rng = (
+                    np.random.default_rng(child) for child in seq.spawn(3)
+                )
+                contexts.append(
+                    _ShardContext(
+                        hidden_sampler=self.hidden_sampler.spawn_substream(h_rng),
+                        visible_sampler=self.visible_sampler.spawn_substream(v_rng),
+                        noise_model=(
+                            self.noise_model.spawn_substream(n_rng)
+                            if self._has_dynamic
+                            else None
+                        ),
+                    )
+                )
+            self._shard_contexts[workers] = contexts
+        return contexts
+
+    def _settle_shard(
+        self,
+        hidden: np.ndarray,
+        n_steps: int,
+        static_pair: Tuple[np.ndarray, np.ndarray],
+        ctx: _ShardContext,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance one chain block for ``n_steps`` alternating settles under
+        ``ctx``'s circuits — a worker shard's, or the substrate's own (the
+        serial fast path is the single-block case of this loop)."""
+        visible = self._settle_eval(hidden, static_pair, ctx, hidden_side=False)
+        for _ in range(n_steps - 1):
+            hidden = self._settle_eval(visible, static_pair, ctx, hidden_side=True)
+            visible = self._settle_eval(hidden, static_pair, ctx, hidden_side=False)
+        hidden = self._settle_eval(visible, static_pair, ctx, hidden_side=True)
+        return visible, hidden
+
+    def _shard_incompatibility(self) -> Optional[str]:
+        """Why this substrate cannot shard its settles, or ``None`` if it can.
+
+        An explicit ``workers=k > 1`` on an incompatible substrate raises
+        this reason as a :class:`ValidationError`; a worker count that came
+        from the ``REPRO_WORKERS`` environment default degrades to the
+        serial kernel instead (the environment opts eligible settles into
+        sharding, it must not break configurations nobody asked to shard).
+        """
+        if not self.fast_path:
+            return (
+                "sharded settles (workers > 1) require fast_path=True; the "
+                "legacy reference path is serial by definition"
+            )
+        if not self._chain_skip_clamp:
+            return (
+                "sharded settles (workers > 1) require a noise-free input "
+                "DTC: per-conversion DTC noise draws from one stream that "
+                "cannot be split across shards"
+            )
+        if (
+            self.hidden_sigmoid.output_noise_rms > 0
+            or self.visible_sigmoid.output_noise_rms > 0
+        ):
+            return (
+                "sharded settles (workers > 1) require noise-free sigmoid "
+                "outputs; per-evaluation sigmoid noise draws from one stream "
+                "that cannot be split across shards"
+            )
+        return None
+
+    def _settle_batch_sharded(
+        self, hidden: np.ndarray, n_steps: int, workers: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Shard the chain block row-wise and settle the shards in threads.
+
+        The settle matmuls, elementwise kernels, and Generator fills all
+        release the GIL, so shard threads genuinely occupy multiple cores;
+        the static effective pair is built once (under the cache lock) on
+        the dispatching thread and shared read-only, so shard threads never
+        touch the substrate's cache or its serial streams.
+        """
+        static_pair = self._static_pair()
+        contexts = self._shard_contexts_for(workers)
+        slices = shard_slices(hidden.shape[0], workers)
+
+        def settle(indexed_slice: Tuple[int, slice]) -> Tuple[np.ndarray, np.ndarray]:
+            index, rows = indexed_slice
+            return self._settle_shard(
+                hidden[rows], n_steps, static_pair, contexts[index]
+            )
+
+        results = ShardedExecutor(workers).map(settle, list(enumerate(slices)))
+        return (
+            np.concatenate([pair[0] for pair in results], axis=0),
+            np.concatenate([pair[1] for pair in results], axis=0),
+        )
+
+    # ------------------------------------------------------------------ #
     # Chains (the hardware "random walk")
     # ------------------------------------------------------------------ #
     def settle_batch(
-        self, hidden_init: np.ndarray, n_steps: int
+        self,
+        hidden_init: np.ndarray,
+        n_steps: int,
+        *,
+        workers: "int | str | None" = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Evolve ``p`` independent chains in parallel for ``n_steps`` settles.
 
@@ -384,6 +606,20 @@ class BipartiteIsingSubstrate:
         tests in ``tests/property/test_chain_statistics.py`` rather than by
         seed.  With a single row the two orders coincide bit-for-bit.
 
+        ``workers`` is the multicore knob: ``workers=k > 1`` splits the
+        ``p`` chain rows into ``min(k, p)`` contiguous shards and settles
+        them concurrently on a thread pool, each shard drawing from its own
+        documented SeedSequence substream (spawn key ``(k, shard)`` under
+        the substrate's shard seed root) — reproducible run to run for
+        fixed seed and ``k``, statistically equivalent across ``k`` (pinned
+        by ``tests/property/test_parallel_statistics.py``).  ``workers=1``
+        (and a single chain row) runs the serial kernel below,
+        bit-identical to the pre-threading implementation; ``workers=None``
+        defers to ``REPRO_WORKERS``/1 and ``"auto"`` to the core count (see
+        :mod:`repro.utils.parallel`).  Sharding requires the fast path and
+        noise-free DTC/sigmoid-output draws (dynamic coupling/node noise is
+        fine — each shard perturbs its replica from its own substream).
+
         Returns the final ``(visible, hidden)`` samples, shaped
         ``(p, n_visible)`` and ``(p, n_hidden)``, in the substrate's
         precision tier (``self.dtype``) — a float32 substrate returns
@@ -391,23 +627,34 @@ class BipartiteIsingSubstrate:
         the dtype never depends on the caller's input dtype (binary values
         round-trip exactly through the validation cast).
         """
+        explicit = workers is not None
+        workers = resolve_workers(workers)
         if n_steps < 1:
             raise ValidationError(f"n_steps must be >= 1, got {n_steps}")
         hidden = check_binary(
             np.atleast_2d(np.asarray(hidden_init, dtype=float)), name="hidden_init"
         ).astype(self.dtype, copy=False)
+        if workers > 1 and hidden.shape[0] > 1:
+            reason = self._shard_incompatibility()
+            if reason is None:
+                return self._settle_batch_sharded(hidden, n_steps, workers)
+            if explicit:
+                raise ValidationError(reason)
+            # workers came from the REPRO_WORKERS default: the environment
+            # opts *eligible* settles into sharding — a substrate that
+            # cannot shard (legacy path, noisy DTC/sigmoid) keeps its
+            # serial kernel instead of erroring on code that never asked.
         if self.fast_path and self._chain_skip_clamp:
             # Validation is hoisted: hidden_init was checked once above, and
             # every in-chain state comes from our own latches (binary by
             # construction), so the per-step binary checks are skipped.  The
             # noise-free DTC is the identity on {0, 1} visibles, so the
-            # re-clamp is skipped too — both are value-preserving.
-            visible = self._sample_visible_trusted(hidden)
-            for _ in range(n_steps - 1):
-                hidden = self._sample_hidden_trusted(visible)
-                visible = self._sample_visible_trusted(hidden)
-            hidden = self._sample_hidden_trusted(visible)
-            return visible, hidden
+            # re-clamp is skipped too — both are value-preserving.  The loop
+            # is the shared settle kernel running on the substrate's own
+            # circuits (one body with the sharded path).
+            return self._settle_shard(
+                hidden, n_steps, self._static_pair(), self._serial_context
+            )
         visible = self.sample_visible_given_hidden(hidden)
         for _ in range(n_steps - 1):
             hidden = self.sample_hidden_given_visible(visible)
@@ -416,17 +663,22 @@ class BipartiteIsingSubstrate:
         return visible, hidden
 
     def gibbs_chain(
-        self, hidden_init: np.ndarray, n_steps: int
+        self,
+        hidden_init: np.ndarray,
+        n_steps: int,
+        *,
+        workers: "int | str | None" = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Run ``n_steps`` alternating settles starting from a hidden state.
 
         Mirrors the negative phase of Algorithm 1 / the annealing trajectory
         of the BGF's negative sample: hidden -> visible -> hidden, repeated.
         Delegates to :meth:`settle_batch` (a chain is the single- or
-        multi-row case of the chain-parallel kernel) and returns the final
+        multi-row case of the chain-parallel kernel, and ``workers`` is
+        forwarded to its sharded execution layer) and returns the final
         ``(visible, hidden)`` samples.
         """
-        return self.settle_batch(hidden_init, n_steps)
+        return self.settle_batch(hidden_init, n_steps, workers=workers)
 
     def reconstruct(self, visible: np.ndarray) -> np.ndarray:
         """Mean-field reconstruction through the analog sigmoid units."""

@@ -24,8 +24,21 @@ from repro.utils.numerics import (
     logsumexp,
     sigmoid,
 )
+from repro.utils.parallel import (
+    ShardedExecutor,
+    resolve_workers,
+    shard_seed_sequence,
+    shard_slices,
+)
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import ValidationError, check_array
+
+#: Sentinel spawn-key branch for the threaded chain pool's seed root.
+#: Ordinary ``SeedSequence.spawn`` children are keyed by small sequential
+#: integers, so this branch (ASCII "AISP") is unreachable by any natural
+#: spawn tree of the same master seed — shard substreams can never alias a
+#: component that spawned from the caller's generator.
+AIS_SHARD_ROOT_KEY = 0x41495350
 
 
 @dataclass
@@ -98,6 +111,20 @@ class AISEstimator:
         statistically against the float64 reference
         (``tests/property/test_precision_tiers.py``).
 
+    workers:
+        Threaded chain pool: ``workers=k > 1`` splits the ``n_chains``
+        particles into ``min(k, n_chains)`` shards, each running the *whole*
+        beta sweep on its own thread with its own SeedSequence substream
+        (spawn key ``(k, shard)`` under the estimator's seed root), and the
+        per-chain log weights are concatenated in shard order.  The chains
+        are mutually independent by construction, so sharding the pool
+        changes only which stream each chain draws from — ``workers=1``
+        (default via ``None``/``REPRO_WORKERS``) is bit-identical to the
+        serial estimator, ``workers=k`` is reproducible for fixed seed and
+        ``k``, and estimates across worker counts agree statistically
+        (``tests/property/test_parallel_statistics.py``).  ``"auto"``
+        resolves to the machine's core count.
+
     RNG stream order
     ----------------
     All chains draw from the estimator's single generator in fixed
@@ -105,7 +132,8 @@ class AISEstimator:
     initialization, then per intermediate temperature one hidden block
     followed by one visible block.  Chains are decorrelated by their row
     position inside each block; no draw touches NumPy's global RNG, and the
-    order is identical on both paths.
+    order is identical on both paths.  With ``workers=k > 1`` the same
+    block order holds *per shard*, on the shard's own substream.
     """
 
     def __init__(
@@ -117,6 +145,7 @@ class AISEstimator:
         rng: SeedLike = None,
         fast_path: bool = True,
         dtype: "str" = "float64",
+        workers: "int | str | None" = None,
     ):
         if n_chains < 1:
             raise ValidationError(f"n_chains must be >= 1, got {n_chains}")
@@ -137,6 +166,27 @@ class AISEstimator:
                 "the float32 AIS tier requires fast_path=True (the legacy loop "
                 "is the float64 reference)"
             )
+        if workers is not None:
+            resolve_workers(workers)  # fail fast; None defers to the env
+        self.workers = workers
+        # Seed root for the threaded chain pool's per-shard substreams;
+        # shard generators are cached per worker count so their streams
+        # stay stateful across estimates (reproducible run to run).  The
+        # root branches off the caller's seed sequence at a dedicated
+        # sentinel spawn key: ordinary SeedSequence.spawn children are
+        # keyed 0, 1, 2, ... — hanging shard keys (k, i) directly off the
+        # caller's root would make shard stream (k, i) bit-identical to
+        # "child k's i-th spawned child" of the same master seed, silently
+        # correlating the estimator with any component spawned from that
+        # seed (the substrate avoids this with its reserved stream-6 root).
+        seed_seq = getattr(self._rng.bit_generator, "seed_seq", None)
+        if not isinstance(seed_seq, np.random.SeedSequence):
+            seed_seq = np.random.SeedSequence()
+        self._shard_seed_root = np.random.SeedSequence(
+            entropy=seed_seq.entropy,
+            spawn_key=tuple(seed_seq.spawn_key) + (AIS_SHARD_ROOT_KEY,),
+        )
+        self._shard_rngs_cache: dict = {}
 
     # ------------------------------------------------------------------ #
     def _base_bias(self, rbm: BernoulliRBM) -> np.ndarray:
@@ -164,31 +214,39 @@ class AISEstimator:
             + np.sum(log1pexp(hidden_input), axis=1)
         )
 
-    def _transition(self, rbm: BernoulliRBM, base_bias: np.ndarray, v: np.ndarray, beta: float) -> np.ndarray:
+    def _transition(
+        self,
+        rbm: BernoulliRBM,
+        base_bias: np.ndarray,
+        v: np.ndarray,
+        beta: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
         """One Gibbs transition that leaves the beta-interpolated model invariant."""
         h_prob = sigmoid(beta * (v @ rbm.weights + rbm.hidden_bias))
-        h = bernoulli_sample(h_prob, self._rng)
+        h = bernoulli_sample(h_prob, rng)
         v_field = beta * (h @ rbm.weights.T + rbm.visible_bias) + (1.0 - beta) * base_bias
-        return bernoulli_sample(sigmoid(v_field), self._rng)
+        return bernoulli_sample(sigmoid(v_field), rng)
 
-    def estimate_log_partition(self, rbm: BernoulliRBM) -> AISResult:
-        """Run AIS and return the estimated log partition function."""
-        base_bias = self._base_bias(rbm)
-        # Python-float betas: a NumPy float64 scalar is not a "weak" scalar
-        # under NEP 50, so `beta * float32_array` would silently promote the
-        # whole float32 sweep back to float64; Python floats multiply
-        # bit-identically on the float64 tier and preserve float32.
-        betas = np.linspace(0.0, 1.0, self.n_betas).tolist()
+    def _sweep(
+        self,
+        rbm: BernoulliRBM,
+        base_bias: np.ndarray,
+        betas: list,
+        n_chains: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Run the full beta sweep for ``n_chains`` particles on ``rng``.
 
-        # log Z of the base-rate model: hidden units are free (2**n_hidden)
-        # and visible units factorize over (1 + exp(base_bias)).
-        log_z_base = rbm.n_hidden * np.log(2.0) + float(np.sum(log1pexp(base_bias)))
-
+        The whole estimator minus the seed/shard bookkeeping: the serial
+        path calls it once with the estimator's own generator (bit-identical
+        to the pre-threading implementation), the threaded pool calls it
+        once per shard with that shard's substream — the chains are mutually
+        independent, so the sweep body is identical either way.
+        """
         # Initial samples from the base-rate model.
-        v = bernoulli_sample(
-            np.tile(sigmoid(base_bias), (self.n_chains, 1)), self._rng
-        )
-        log_w = np.zeros(self.n_chains)
+        v = bernoulli_sample(np.tile(sigmoid(base_bias), (n_chains, 1)), rng)
+        log_w = np.zeros(n_chains)
         if self.fast_path:
             # Vectorized sweep: one (chains x n_hidden) input matmul per
             # temperature, shared by the weight update at both adjacent betas
@@ -217,25 +275,76 @@ class AISEstimator:
                 if tier32:
                     h = fused_sigmoid_bernoulli(
                         beta * hidden_in,
-                        self._rng.random(hidden_in.shape, dtype=np.float32),
+                        rng.random(hidden_in.shape, dtype=np.float32),
                     )
                     v_field = beta * (h @ weights_t + visible_bias)
                     v_field += (1.0 - beta) * base
                     v = fused_sigmoid_bernoulli(
-                        v_field, self._rng.random(v_field.shape, dtype=np.float32)
+                        v_field, rng.random(v_field.shape, dtype=np.float32)
                     )
                 else:
-                    h = bernoulli_sample(sigmoid(beta * hidden_in), self._rng)
+                    h = bernoulli_sample(sigmoid(beta * hidden_in), rng)
                     v_field = (
                         beta * (h @ weights_t + visible_bias)
                         + (1.0 - beta) * base
                     )
-                    v = bernoulli_sample(sigmoid(v_field), self._rng)
+                    v = bernoulli_sample(sigmoid(v_field), rng)
         else:
             for prev_beta, beta in zip(betas[:-1], betas[1:]):
                 log_w += self._log_unnormalized(rbm, base_bias, v, beta)
                 log_w -= self._log_unnormalized(rbm, base_bias, v, prev_beta)
-                v = self._transition(rbm, base_bias, v, beta)
+                v = self._transition(rbm, base_bias, v, beta, rng)
+        return log_w
+
+    def _shard_rngs(self, workers: int) -> list:
+        """Cached per-shard generators for a ``workers``-way chain pool.
+
+        Substreams sit at spawn key ``(workers, shard)`` under the
+        estimator's seed root — a pure function of the master seed, never
+        aliasing another worker count — and stay stateful across estimates.
+        """
+        rngs = self._shard_rngs_cache.get(workers)
+        if rngs is None:
+            rngs = [
+                np.random.default_rng(
+                    shard_seed_sequence(self._shard_seed_root, workers, index)
+                )
+                for index in range(workers)
+            ]
+            self._shard_rngs_cache[workers] = rngs
+        return rngs
+
+    def estimate_log_partition(self, rbm: BernoulliRBM) -> AISResult:
+        """Run AIS and return the estimated log partition function."""
+        workers = resolve_workers(self.workers)
+        base_bias = self._base_bias(rbm)
+        # Python-float betas: a NumPy float64 scalar is not a "weak" scalar
+        # under NEP 50, so `beta * float32_array` would silently promote the
+        # whole float32 sweep back to float64; Python floats multiply
+        # bit-identically on the float64 tier and preserve float32.
+        betas = np.linspace(0.0, 1.0, self.n_betas).tolist()
+
+        # log Z of the base-rate model: hidden units are free (2**n_hidden)
+        # and visible units factorize over (1 + exp(base_bias)).
+        log_z_base = rbm.n_hidden * np.log(2.0) + float(np.sum(log1pexp(base_bias)))
+
+        if workers == 1 or self.n_chains == 1:
+            log_w = self._sweep(rbm, base_bias, betas, self.n_chains, self._rng)
+        else:
+            # Threaded chain pool: each shard runs the whole sweep for its
+            # slice of the particle population on its own substream; the
+            # sweep is matmul/ufunc-bound, so the shard threads release the
+            # GIL and occupy separate cores.  Shard sizes are the balanced
+            # contiguous split of n_chains, gathered in shard order.
+            sizes = [s.stop - s.start for s in shard_slices(self.n_chains, workers)]
+            rngs = self._shard_rngs(workers)
+
+            def sweep(indexed_size):
+                index, size = indexed_size
+                return self._sweep(rbm, base_bias, betas, size, rngs[index])
+
+            blocks = ShardedExecutor(workers).map(sweep, list(enumerate(sizes)))
+            log_w = np.concatenate(blocks)
 
         log_z = log_z_base + float(logsumexp(log_w) - np.log(self.n_chains))
         return AISResult(log_partition=log_z, log_weights=log_w, log_partition_base=log_z_base)
@@ -250,11 +359,13 @@ def estimate_log_partition(
     rng: SeedLike = None,
     fast_path: bool = True,
     dtype: "str" = "float64",
+    workers: "int | str | None" = None,
 ) -> float:
     """Convenience wrapper returning just the estimated log Z.
 
     When ``data`` is given, the base-rate model's visible biases are set to
     the data log-odds, which substantially reduces estimator variance.
+    ``workers`` threads the chain pool (see :class:`AISEstimator`).
     """
     base_bias = None if data is None else AISEstimator.base_bias_from_data(data)
     estimator = AISEstimator(
@@ -264,6 +375,7 @@ def estimate_log_partition(
         rng=rng,
         fast_path=fast_path,
         dtype=dtype,
+        workers=workers,
     )
     return estimator.estimate_log_partition(rbm).log_partition
 
@@ -277,13 +389,15 @@ def average_log_probability(
     rng: SeedLike = None,
     log_partition: Optional[float] = None,
     dtype: "str" = "float64",
+    workers: "int | str | None" = None,
 ) -> float:
     """Average log probability of ``data`` rows, the paper's quality metric.
 
     ``log P(v) = -F(v) - log Z`` where ``log Z`` is AIS-estimated (or passed
     in directly via ``log_partition`` to reuse an existing estimate).
     ``dtype="float32"`` runs the AIS sweep in the single-precision tier; the
-    free energies of the data always evaluate in float64.
+    free energies of the data always evaluate in float64.  ``workers``
+    threads the AIS chain pool (see :class:`AISEstimator`).
     """
     data = check_array(data, name="data", ndim=2)
     if data.shape[1] != rbm.n_visible:
@@ -292,6 +406,7 @@ def average_log_probability(
         )
     if log_partition is None:
         log_partition = estimate_log_partition(
-            rbm, n_chains=n_chains, n_betas=n_betas, data=data, rng=rng, dtype=dtype
+            rbm, n_chains=n_chains, n_betas=n_betas, data=data, rng=rng,
+            dtype=dtype, workers=workers,
         )
     return float(np.mean(-rbm.free_energy(data)) - log_partition)

@@ -20,6 +20,12 @@ from repro.utils.numerics import (
     clip_norm,
 )
 from repro.utils.batching import minibatches, shuffle_arrays, train_test_split
+from repro.utils.parallel import (
+    ShardedExecutor,
+    default_workers,
+    resolve_workers,
+    shard_slices,
+)
 from repro.utils.validation import (
     check_array,
     check_binary,
@@ -46,6 +52,10 @@ __all__ = [
     "minibatches",
     "shuffle_arrays",
     "train_test_split",
+    "ShardedExecutor",
+    "default_workers",
+    "resolve_workers",
+    "shard_slices",
     "check_array",
     "check_binary",
     "check_probability",

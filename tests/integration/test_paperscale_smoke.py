@@ -9,6 +9,8 @@ Excluded from the default pytest selection by the ``paperscale`` marker
 (registered in pyproject.toml).
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -19,6 +21,14 @@ from repro.ising import BipartiteIsingSubstrate
 from repro.rbm import AISEstimator, BernoulliRBM
 
 pytestmark = pytest.mark.paperscale
+
+# The nightly CI matrix's workers column (see .github/workflows/ci.yml):
+# the presets are smoked serially and through the sharded settle / threaded
+# AIS layer.  Resolved once so every smoke in the file runs the same leg.
+_raw_workers = os.environ.get("REPRO_WORKERS", "").strip()
+SMOKE_WORKERS = (
+    "auto" if _raw_workers == "auto" else int(_raw_workers) if _raw_workers else 1
+)
 
 
 class TestPaperScaleKernels:
@@ -31,7 +41,7 @@ class TestPaperScaleKernels:
             rng.normal(0, 0.05, (784, 500)), np.zeros(784), np.zeros(500)
         )
         hidden = (rng.random((64, 500)) < 0.5).astype(float)
-        v, h = substrate.settle_batch(hidden, 5)
+        v, h = substrate.settle_batch(hidden, 5, workers=SMOKE_WORKERS)
         assert v.shape == (64, 784) and v.dtype == np.float32
         assert h.shape == (64, 500) and h.dtype == np.float32
         assert 0.1 < float(v.mean()) < 0.9  # mixing, not frozen
@@ -45,7 +55,8 @@ class TestPaperScaleKernels:
             rng.normal(0, 0.1, 500),
         )
         result = AISEstimator(
-            n_chains=32, n_betas=100, rng=2, dtype="float32"
+            n_chains=32, n_betas=100, rng=2, dtype="float32",
+            workers=SMOKE_WORKERS,
         ).estimate_log_partition(rbm)
         assert np.isfinite(result.log_partition)
         assert result.effective_sample_size > 1.0
@@ -56,7 +67,7 @@ class TestPaperScaleKernels:
         rbm = BernoulliRBM(784, 500, rng=0)
         trainer = GibbsSamplerTrainer(
             0.05, cd_k=1, batch_size=16, chains=64, persistent=True, rng=1,
-            dtype="float32",
+            dtype="float32", workers=SMOKE_WORKERS,
         )
         history = trainer.train(rbm, data, epochs=1)
         assert np.isfinite(rbm.weights).all()
@@ -76,10 +87,12 @@ class TestPaperPresetSmoke:
             ais_chains=8,
             ais_betas=40,
             train_samples=192,
+            workers=SMOKE_WORKERS,
             seed=0,
         )
         assert result.metadata["scale"] == "paper"
         assert result.metadata["dtype"] == "float32"
+        assert result.metadata["workers"] == SMOKE_WORKERS
         series = trajectories(result)["kmnist"]
         assert set(series) == {"gs-pcd16"}
         assert len(series["gs-pcd16"]) == 3
@@ -90,9 +103,11 @@ class TestPaperPresetSmoke:
             image_benchmarks=("mnist",),  # Table-1 784x200
             epochs=2,
             train_samples=192,
+            workers=SMOKE_WORKERS,
             seed=0,
         )
         assert result.metadata["scale"] == "paper"
+        assert result.metadata["workers"] == SMOKE_WORKERS
         row = result.row_by("benchmark", "mnist")
         for key in ("rbm_cd10", "rbm_bgf", "rbm_gs"):
             assert 0.0 <= row[key] <= 1.0

@@ -99,6 +99,59 @@ class TestDtypeRoundTrip:
         assert set(np.unique(h)) <= {0.0, 1.0}
 
 
+class TestWorkersValidation:
+    """The multicore knob fails loudly at the API boundary: a bad shard
+    count raises a ValidationError naming the offense, never a numpy
+    reshape traceback from inside a settle."""
+
+    @pytest.mark.parametrize("workers", [0, -1, -8])
+    def test_subpositive_workers_rejected(self, workers):
+        with pytest.raises(ValidationError, match=">= 1"):
+            _substrate().settle_batch(_hidden(3, (4, 7)), 2, workers=workers)
+
+    @pytest.mark.parametrize("workers", [2.0, 1.5, "two", True, False, (2,)])
+    def test_non_int_workers_rejected(self, workers):
+        with pytest.raises(ValidationError, match="workers"):
+            _substrate().settle_batch(_hidden(3, (4, 7)), 2, workers=workers)
+
+    @pytest.mark.parametrize("workers", [0, 2.5, "many"])
+    def test_gibbs_chain_validates_workers_too(self, workers):
+        with pytest.raises(ValidationError):
+            _substrate().gibbs_chain(_hidden(3, (1, 7)), 2, workers=workers)
+
+    def test_numpy_integer_workers_accepted(self):
+        v, h = _substrate().settle_batch(_hidden(3, (4, 7)), 2, workers=np.int64(2))
+        assert v.shape == (4, 12) and h.shape == (4, 7)
+
+    def test_workers_validated_before_the_chain_block_is_touched(self):
+        """Even with an invalid hidden_init, the workers typo is the error
+        the caller sees first (knob validation is hoisted)."""
+        with pytest.raises(ValidationError, match="workers"):
+            _substrate().settle_batch(np.full((2, 7), 0.5), 1, workers="four")
+
+    def test_trainer_rejects_bad_workers_at_construction(self):
+        with pytest.raises(ValidationError, match="workers"):
+            GibbsSamplerTrainer(0.1, workers=0)
+        with pytest.raises(ValidationError, match="workers"):
+            GibbsSamplerTrainer(0.1, workers=2.5)
+
+    @pytest.mark.parametrize("workers", [2, 3, 16])
+    def test_workers_exceeding_chains_degrade_to_one_shard_per_chain(self, workers):
+        """More workers than chains: shards cap at the chain count, shapes
+        and binary values stay intact."""
+        v, h = _substrate().settle_batch(_hidden(3, (2, 7)), 2, workers=workers)
+        assert v.shape == (2, 12) and h.shape == (2, 7)
+        assert set(np.unique(v)) <= {0.0, 1.0}
+        assert set(np.unique(h)) <= {0.0, 1.0}
+
+    @pytest.mark.parametrize("tier", ["float64", "float32"])
+    def test_sharded_outputs_keep_the_substrate_tier(self, tier):
+        substrate = _substrate(dtype=tier)
+        v, h = substrate.settle_batch(_hidden(3, (6, 7)), 2, workers=2)
+        assert v.dtype == np.dtype(tier)
+        assert h.dtype == np.dtype(tier)
+
+
 class TestChainCountVsBatchSize:
     """The trainer's chain engine with chain counts that do not divide (or
     exceed) the minibatch: seed rows cycle, shapes stay consistent."""
