@@ -1,10 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-workers bench bench-compare bench-compare-ci artifacts
+.PHONY: test test-workers run-ci bench bench-compare bench-compare-ci artifacts
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## CLI smoke leg of the tier-1 workflow: the registry listing plus two
+## cheap (analytic) artifacts through `python -m repro run`, exercising
+## --list, multi-name runs, --preset and --set parsing end to end.
+run-ci:
+	$(PYTHON) -m repro run --list
+	$(PYTHON) -m repro run table2 figure5
+	$(PYTHON) -m repro run table3 --preset ci --set n_nodes=800
 
 ## Multicore leg of the CI matrix: the FULL tier-1 suite with the
 ## REPRO_WORKERS default set, so every eligible settle/AIS call runs

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import BGFTrainer
+from repro.api import build_trainer
+from repro.config import TrainerSpec
 from repro.datasets import load_mnist_like
-from repro.rbm import BernoulliRBM, CDTrainer, average_log_probability, reconstruction_error
+from repro.rbm import BernoulliRBM, average_log_probability, reconstruction_error
 
 
 def main() -> None:
@@ -50,7 +51,8 @@ def main() -> None:
     # 3. Software baseline: CD-10 (Algorithm 1 of the paper).
     # ------------------------------------------------------------------ #
     cd_rbm = base.copy()
-    CDTrainer(learning_rate=0.2, cd_k=10, batch_size=10, rng=1).train(cd_rbm, data, epochs=15)
+    cd_trainer = build_trainer(TrainerSpec.cd(0.2, cd_k=10, batch_size=10), rng=1)
+    cd_trainer.train(cd_rbm, data, epochs=15)
     cd_logprob, cd_recon = quality(cd_rbm)
     print(f"CD-10 (software): avg log P = {cd_logprob:7.2f}   recon MSE = {cd_recon:.4f}")
 
@@ -60,7 +62,8 @@ def main() -> None:
     #    minibatch of one) and the result is read out through the ADC model.
     # ------------------------------------------------------------------ #
     bgf_rbm = base.copy()
-    BGFTrainer(learning_rate=0.2, reference_batch_size=10, rng=1).train(bgf_rbm, data, epochs=15)
+    bgf_trainer = build_trainer(TrainerSpec.bgf(0.2, reference_batch_size=10), rng=1)
+    bgf_trainer.train(bgf_rbm, data, epochs=15)
     bgf_logprob, bgf_recon = quality(bgf_rbm)
     print(f"BGF  (hardware) : avg log P = {bgf_logprob:7.2f}   recon MSE = {bgf_recon:.4f}")
 

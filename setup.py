@@ -18,6 +18,7 @@ setup(
     install_requires=["numpy>=1.24", "scipy>=1.10"],
     entry_points={
         "console_scripts": [
+            "repro=repro.api.cli:main",
             "repro-bench-kernels=repro.bench.kernels:main",
             "repro-compare-bench=repro.bench.compare:main",
         ]

@@ -20,18 +20,28 @@ contains:
 * ``repro.eval``        -- classifier head, MAE/ROC/KL metrics, recommender
                            and anomaly-detection wrappers.
 * ``repro.experiments`` -- one driver per table/figure of the evaluation.
+* ``repro.config``      -- typed, frozen run-spec dataclasses (ComputeSpec,
+                           TrainerSpec, RunSpec, ...) with validation,
+                           env resolution and a dict round trip.
+* ``repro.api``         -- the builder facade + experiment registry over
+                           those specs (``python -m repro run ...``).
 * ``repro.bench``       -- kernel-regression benchmark harness
                            (``BENCH_kernels.json`` emit/compare tooling).
 
 Quickstart::
 
-    from repro.rbm import BernoulliRBM
-    from repro.core import BGFTrainer
+    from repro.api import build_trainer
+    from repro.config import TrainerSpec
     from repro.datasets import load_mnist_like
+    from repro.rbm import BernoulliRBM
 
     data = load_mnist_like(scale=0.1).binarized()
     rbm = BernoulliRBM(data.n_features, 64, rng=0)
-    BGFTrainer(learning_rate=0.1, rng=0).train(rbm, data.train_x, epochs=5)
+    build_trainer(TrainerSpec.bgf(0.1), rng=0).train(rbm, data.train_x, epochs=5)
+
+Experiments run from the command line through the same spec layer::
+
+    python -m repro run figure7 --preset paper --set workers=4
 """
 
 __version__ = "1.0.0"
@@ -45,6 +55,8 @@ __all__ = [
     "datasets",
     "eval",
     "experiments",
+    "config",
+    "api",
     "utils",
     "bench",
 ]

@@ -1,0 +1,6 @@
+"""Package entry point: ``python -m repro`` drives the experiment CLI."""
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

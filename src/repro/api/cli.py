@@ -1,0 +1,184 @@
+"""``python -m repro`` — the registry-driven experiment command line.
+
+Usage::
+
+    python -m repro run figure7 --preset paper --set workers=4 --set dtype=float32
+    python -m repro run table2 figure5            # several artifacts, CI scale
+    python -m repro run --list                    # what can I run?
+    python -m repro list                          # same listing
+
+``--set key=value`` overrides route through the typed spec layer: compute
+knobs (``dtype``/``workers``/``fast_path``) land in the run's
+:class:`~repro.config.ComputeSpec`, ``seed`` in the seed field, everything
+else in the experiment params — all validated against the experiment's
+declared knob surface before anything trains.  Values parse as Python-ish
+literals: ints, floats, ``true``/``false``, ``none``, comma lists
+(``--set datasets=mnist,kmnist``; trailing comma for a one-element list,
+``--set datasets=mnist,``), else strings (``--set workers=auto``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.api.facade import run_experiment
+from repro.api.registry import get_experiment, list_experiments
+from repro.utils.validation import ValidationError
+
+__all__ = ["main", "parse_set_value", "parse_set_argument"]
+
+
+def parse_set_value(raw: str) -> Any:
+    """Parse one ``--set`` value: int / float / bool / none / tuple / str."""
+    text = raw.strip()
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if "," in text:
+        return tuple(
+            parse_set_value(part) for part in text.split(",") if part.strip() != ""
+        )
+    return text
+
+
+def parse_set_argument(text: str) -> Tuple[str, Any]:
+    """Split a ``key=value`` override (argparse ``type=`` hook)."""
+    key, separator, raw = text.partition("=")
+    key = key.strip()
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(
+            f"--set expects key=value, got {text!r}"
+        )
+    return key, parse_set_value(raw)
+
+
+def _print_listing(stream) -> None:
+    """Render the experiment/preset table the ``list`` forms print."""
+    rows = [
+        (
+            experiment.name,
+            ",".join(experiment.presets),
+            experiment.description,
+        )
+        for experiment in list_experiments()
+    ]
+    name_width = max(len("experiment"), *(len(row[0]) for row in rows))
+    preset_width = max(len("presets"), *(len(row[1]) for row in rows))
+    print(
+        f"{'experiment'.ljust(name_width)}  {'presets'.ljust(preset_width)}  description",
+        file=stream,
+    )
+    for name, presets, description in rows:
+        print(
+            f"{name.ljust(name_width)}  {presets.ljust(preset_width)}  {description}",
+            file=stream,
+        )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the paper's experiments through the typed run-spec API.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one or more registered experiments"
+    )
+    run_parser.add_argument(
+        "experiments", nargs="*", metavar="experiment",
+        help="registered experiment names (see --list)",
+    )
+    run_parser.add_argument(
+        "--preset", default="ci",
+        help="named preset to start from (default: ci)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the preset's master seed",
+    )
+    run_parser.add_argument(
+        "--set", dest="overrides", metavar="KEY=VALUE",
+        type=parse_set_argument, action="append", default=[],
+        help="override a spec knob (repeatable); compute knobs "
+             "(dtype/workers/fast_path) route into the ComputeSpec; "
+             "comma-separate lists (trailing comma for one element)",
+    )
+    run_parser.add_argument(
+        "--list", action="store_true",
+        help="list registered experiments and presets, then exit",
+    )
+
+    subparsers.add_parser("list", help="list registered experiments and presets")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        _print_listing(sys.stdout)
+        return 0
+    if args.command != "run":
+        parser.print_help()
+        return 2
+    if args.list:
+        _print_listing(sys.stdout)
+        return 0
+    if not args.experiments:
+        parser.error("run needs at least one experiment name (or --list)")
+
+    try:
+        specs = []
+        for name in args.experiments:
+            experiment = get_experiment(name)
+            spec = experiment.preset(args.preset)
+            overrides = dict(args.overrides)
+            if args.seed is not None:
+                overrides["seed"] = args.seed
+            if overrides:
+                # Any override — --set or --seed — flips the recorded
+                # preset label to "custom": the run no longer is the preset.
+                spec = spec.with_overrides(**overrides)
+            # Validate every spec against its runner before the first
+            # (potentially hours-long) experiment starts.
+            experiment.materialize_kwargs(spec)
+            specs.append((experiment, spec))
+    except ValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    for experiment, spec in specs:
+        start = time.perf_counter()
+        try:
+            result = run_experiment(spec)
+        except ValidationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - start
+        print(
+            f"\n=== {experiment.name} "
+            f"(preset {spec.preset}, took {elapsed:.1f}s) ==="
+        )
+        print(experiment.formatter(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -22,9 +22,22 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.config import ComputeSpec, EstimatorSpec, SubstrateSpec, TrainerSpec
 from repro.core import BGFTrainer, GibbsSamplerMachine, GibbsSamplerTrainer
 from repro.ising import BipartiteIsingSubstrate
 from repro.rbm import AISEstimator, BernoulliRBM, CDTrainer
+
+
+def _substrate(n_visible, n_hidden, *, fast=True, dtype="float64"):
+    """Spec-built substrate (the shim-free construction path)."""
+    return BipartiteIsingSubstrate(
+        spec=SubstrateSpec(
+            n_visible=n_visible,
+            n_hidden=n_hidden,
+            compute=ComputeSpec(dtype=dtype, fast_path=fast),
+        ),
+        rng=0,
+    )
 
 DEFAULT_OUTPUT = Path("benchmarks") / "BENCH_kernels.json"
 
@@ -70,7 +83,7 @@ def _median_seconds(
 
 
 def _substrate_kernel(n_visible: int, n_hidden: int, batch: np.ndarray, fast: bool):
-    substrate = BipartiteIsingSubstrate(n_visible, n_hidden, rng=0, fast_path=fast)
+    substrate = _substrate(n_visible, n_hidden, fast=fast)
     weights = np.random.default_rng(1).normal(0, 0.1, (n_visible, n_hidden))
     substrate.program(weights, np.zeros(n_visible), np.zeros(n_hidden))
 
@@ -89,9 +102,7 @@ def _substrate_dtype_kernel(
     Bernoulli latch) and the baseline is the float64 fast path, so the
     ratio is the precision-tier win itself.
     """
-    substrate = BipartiteIsingSubstrate(
-        n_visible, n_hidden, rng=0, dtype="float32" if fast else "float64"
-    )
+    substrate = _substrate(n_visible, n_hidden, dtype="float32" if fast else "float64")
     weights = np.random.default_rng(1).normal(0, 0.1, (n_visible, n_hidden))
     substrate.program(weights, np.zeros(n_visible), np.zeros(n_hidden))
 
@@ -105,9 +116,7 @@ def _settle_batch_dtype_kernel(
     n_visible: int, n_hidden: int, chains: int, n_steps: int, fast: bool
 ):
     """Chain-parallel settles on the precision tiers: float32 vs float64."""
-    substrate = BipartiteIsingSubstrate(
-        n_visible, n_hidden, rng=0, dtype="float32" if fast else "float64"
-    )
+    substrate = _substrate(n_visible, n_hidden, dtype="float32" if fast else "float64")
     weights = np.random.default_rng(1).normal(0, 0.1, (n_visible, n_hidden))
     substrate.program(weights, np.zeros(n_visible), np.zeros(n_hidden))
     hidden = (np.random.default_rng(2).random((chains, n_hidden)) < 0.5).astype(float)
@@ -134,7 +143,7 @@ def _settle_batch_workers_kernel(
     the multicore win itself.  Scales with physical cores — see the
     ``cpu_count`` entry in the meta block when reading the numbers.
     """
-    substrate = BipartiteIsingSubstrate(n_visible, n_hidden, rng=0, dtype="float32")
+    substrate = _substrate(n_visible, n_hidden, dtype="float32")
     weights = np.random.default_rng(1).normal(0, 0.1, (n_visible, n_hidden))
     substrate.program(weights, np.zeros(n_visible), np.zeros(n_hidden))
     hidden = (np.random.default_rng(2).random((chains, n_hidden)) < 0.5).astype(float)
@@ -162,7 +171,12 @@ def _ais_workers_kernel(n_visible: int, n_hidden: int, workers: int, fast: bool)
         # block (matching the paper presets' ais_chains=64); skinnier
         # shards lose more to GEMM efficiency than they gain from cores.
         AISEstimator(
-            n_chains=64, n_betas=20, rng=3, dtype="float32", workers=pool_workers
+            spec=EstimatorSpec(
+                chains=64,
+                betas=20,
+                compute=ComputeSpec(dtype="float32", workers=pool_workers),
+            ),
+            rng=3,
         ).estimate_log_partition(rbm)
 
     return kernel
@@ -181,7 +195,10 @@ def _ais_dtype_kernel(n_visible: int, n_hidden: int, fast: bool):
 
     def kernel():
         AISEstimator(
-            n_chains=16, n_betas=12, rng=3, dtype=dtype
+            spec=EstimatorSpec(
+                chains=16, betas=12, compute=ComputeSpec(dtype=dtype)
+            ),
+            rng=3,
         ).estimate_log_partition(rbm)
 
     return kernel
@@ -190,9 +207,12 @@ def _ais_dtype_kernel(n_visible: int, n_hidden: int, fast: bool):
 def _gs_epoch_kernel(data: np.ndarray, fast: bool):
     def kernel():
         rbm = BernoulliRBM(data.shape[1], 32, rng=0)
-        GibbsSamplerTrainer(0.1, cd_k=1, batch_size=10, rng=1, fast_path=fast).train(
-            rbm, data, epochs=1
-        )
+        GibbsSamplerTrainer(
+            spec=TrainerSpec.gs(
+                0.1, cd_k=1, batch_size=10, compute=ComputeSpec(fast_path=fast)
+            ),
+            rng=1,
+        ).train(rbm, data, epochs=1)
 
     return kernel
 
@@ -200,9 +220,12 @@ def _gs_epoch_kernel(data: np.ndarray, fast: bool):
 def _bgf_epoch_kernel(data: np.ndarray, fast: bool):
     def kernel():
         rbm = BernoulliRBM(data.shape[1], 32, rng=0)
-        BGFTrainer(0.1, reference_batch_size=10, rng=1, fast_path=fast).train(
-            rbm, data, epochs=1
-        )
+        BGFTrainer(
+            spec=TrainerSpec.bgf(
+                0.1, reference_batch_size=10, compute=ComputeSpec(fast_path=fast)
+            ),
+            rng=1,
+        ).train(rbm, data, epochs=1)
 
     return kernel
 
@@ -210,9 +233,12 @@ def _bgf_epoch_kernel(data: np.ndarray, fast: bool):
 def _cd_epoch_kernel(data: np.ndarray, fast: bool):
     def kernel():
         rbm = BernoulliRBM(data.shape[1], 32, rng=0)
-        CDTrainer(0.1, cd_k=1, batch_size=10, rng=1, fast_path=fast).train(
-            rbm, data, epochs=1
-        )
+        CDTrainer(
+            spec=TrainerSpec.cd(
+                0.1, cd_k=1, batch_size=10, compute=ComputeSpec(fast_path=fast)
+            ),
+            rng=1,
+        ).train(rbm, data, epochs=1)
 
     return kernel
 
@@ -229,8 +255,11 @@ def _gs_pcd_epoch_kernel(data: np.ndarray, fast: bool, chains: int = 8):
     def kernel():
         rbm = BernoulliRBM(data.shape[1], 32, rng=0)
         GibbsSamplerTrainer(
-            0.1, cd_k=2, batch_size=10, rng=1,
-            chains=chains, persistent=True, chain_batch=fast,
+            spec=TrainerSpec.gs(
+                0.1, cd_k=2, batch_size=10,
+                chains=chains, persistent=True, chain_batch=fast,
+            ),
+            rng=1,
         ).train(rbm, data, epochs=1)
 
     return kernel
@@ -240,7 +269,9 @@ def _multichain_negative_phase_kernel(
     n_visible: int, n_hidden: int, chains: int, cd_k: int, fast: bool
 ):
     """Bare negative-phase advance of ``chains`` persistent chains."""
-    machine = GibbsSamplerMachine(n_visible, n_hidden, rng=0)
+    machine = GibbsSamplerMachine(
+        spec=SubstrateSpec(n_visible=n_visible, n_hidden=n_hidden), rng=0
+    )
     rng = np.random.default_rng(1)
     machine.substrate.program(
         rng.normal(0, 0.1, (n_visible, n_hidden)),
@@ -266,7 +297,12 @@ def _ais_kernel(fast: bool, n_visible: int = 49, n_hidden: int = 32):
     )
 
     def kernel():
-        AISEstimator(n_chains=32, n_betas=60, rng=3, fast_path=fast).estimate_log_partition(rbm)
+        AISEstimator(
+            spec=EstimatorSpec(
+                chains=32, betas=60, compute=ComputeSpec(fast_path=fast)
+            ),
+            rng=3,
+        ).estimate_log_partition(rbm)
 
     return kernel
 

@@ -1,0 +1,617 @@
+"""Typed, frozen run-spec dataclasses: the single configuration surface.
+
+Three scaling PRs in a row (multi-chain/persistent, the float32 precision
+tier, the multicore workers knob) each re-threaded the same keyword
+arguments through substrate → trainers → estimator → experiment runners →
+preset dicts.  This module turns those knobs into *specs*: frozen,
+validated dataclasses with
+
+* ``ValidationError`` at construction — a typo'd dtype or a ``workers=0``
+  fails at the API boundary, not as a numpy traceback deep in a settle;
+* ``resolve()`` — environment defaults (``REPRO_WORKERS``) and ``"auto"``
+  expansion happen in exactly one place, returning a new resolved spec;
+* ``to_dict()`` / ``from_dict()`` — a lossless, JSON-compatible round trip
+  (tuples serialize as lists and normalize back), which is what lets every
+  :class:`~repro.experiments.base.ExperimentResult` record the resolved
+  spec it ran under.
+
+The spec classes are pure configuration: runtime objects (RNGs, callbacks,
+pre-built machines) stay constructor arguments of the things the facade
+(:mod:`repro.api`) builds from these specs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.analog.noise import NoiseConfig
+from repro.utils.parallel import default_workers, resolve_workers
+from repro.utils.validation import ValidationError, check_in_range, check_positive
+
+__all__ = [
+    "Spec",
+    "ComputeSpec",
+    "SamplerSpec",
+    "NoiseSpec",
+    "SubstrateSpec",
+    "TrainerSpec",
+    "EstimatorSpec",
+    "RunSpec",
+]
+
+#: Trainer kinds the spec layer knows how to build (see ``repro.api``).
+TRAINER_KINDS: Tuple[str, ...] = ("cd", "gs", "bgf")
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Recursively convert a spec field value into JSON-compatible data."""
+    if isinstance(value, Spec):
+        return value.to_dict()
+    if isinstance(value, (tuple, list)):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _normalize_params(value: Any) -> Any:
+    """Canonical in-memory form for ``RunSpec.params`` values.
+
+    Serialization emits lists (JSON has no tuples); construction normalizes
+    them back to tuples so ``RunSpec.from_dict(spec.to_dict()) == spec``
+    holds exactly.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize_params(item) for item in value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+class Spec:
+    """Shared behavior of every frozen spec dataclass.
+
+    Subclasses are ``@dataclass(frozen=True)``; this base contributes the
+    serialization round trip, ``replace`` sugar, and a default no-op
+    ``resolve``.
+    """
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dict of this spec (nested specs become dicts)."""
+        return {
+            f.name: _to_jsonable(getattr(self, f.name))
+            for f in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Spec":
+        """Rebuild a spec from :meth:`to_dict` output (lossless round trip).
+
+        Unknown keys raise :class:`ValidationError` — a stale or typo'd
+        serialized spec fails loudly instead of silently dropping knobs.
+        """
+        if not isinstance(data, Mapping):
+            raise ValidationError(
+                f"{cls.__name__}.from_dict needs a mapping, got {type(data).__name__}"
+            )
+        field_map = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = set(data) - set(field_map)
+        if unknown:
+            raise ValidationError(
+                f"unknown {cls.__name__} keys {sorted(unknown)}; "
+                f"known keys are {sorted(field_map)}"
+            )
+        kwargs: Dict[str, Any] = {}
+        for name, value in data.items():
+            nested = _NESTED_SPEC_FIELDS.get((cls.__name__, name))
+            if nested is not None and value is not None and not isinstance(value, Spec):
+                value = nested.from_dict(value)
+            kwargs[name] = value
+        return cls(**kwargs)  # type: ignore[call-arg]
+
+    def replace(self, **changes: Any) -> "Spec":
+        """A copy of this spec with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[type-var]
+
+    def resolve(self) -> "Spec":
+        """Return a spec with environment defaults and ``"auto"`` expanded.
+
+        The base implementation resolves nested spec fields; leaves override
+        it where they own deferred knobs (:class:`ComputeSpec`).
+        """
+        changes: Dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Spec):
+                resolved = value.resolve()
+                if resolved != value:
+                    changes[f.name] = resolved
+        return self.replace(**changes) if changes else self
+
+
+@dataclass(frozen=True)
+class ComputeSpec(Spec):
+    """Execution-tier knobs shared by the substrate, trainers and estimator.
+
+    Attributes
+    ----------
+    dtype:
+        Precision tier, ``"float64"`` (bit-identical contract) or
+        ``"float32"`` (statistically pinned single-precision kernels).
+    workers:
+        Multicore knob: a positive int, ``"auto"`` (core count), or ``None``
+        to defer to the ``REPRO_WORKERS`` environment default — the
+        deferred form is preserved until :meth:`resolve`.
+    fast_path:
+        Cached-effective-weight / trusted-sampling kernels (the default);
+        ``False`` keeps the legacy per-settle reference path.
+    """
+
+    dtype: str = "float64"
+    workers: Union[None, int, str] = None
+    fast_path: bool = True
+
+    def __post_init__(self) -> None:
+        try:
+            canonical = np.dtype(self.dtype)
+        except TypeError as exc:
+            raise ValidationError(f"dtype must be float32 or float64, got {self.dtype!r}") from exc
+        if canonical not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValidationError(f"dtype must be float32 or float64, got {canonical}")
+        object.__setattr__(self, "dtype", str(canonical))
+        object.__setattr__(self, "fast_path", bool(self.fast_path))
+        if canonical == np.float32 and not self.fast_path:
+            raise ValidationError(
+                "the float32 precision tier requires fast_path=True (the legacy "
+                "reference path is float64 by definition)"
+            )
+        if self.workers is not None:
+            # Validate-only: "auto"/ints are checked here, but the deferred
+            # expansion (env read, core count) waits for resolve().
+            resolve_workers(self.workers)
+            if isinstance(self.workers, np.integer):
+                object.__setattr__(self, "workers", int(self.workers))
+
+    def resolve(self) -> "ComputeSpec":
+        """Expand ``workers``: env default (``REPRO_WORKERS``) and ``"auto"``.
+
+        This is the single place the environment variable is parsed on the
+        spec path; garbage values raise a :class:`ValidationError` naming
+        ``REPRO_WORKERS`` (see :func:`repro.utils.parallel.default_workers`)
+        instead of leaking a bare ``int()`` traceback.
+        """
+        workers = default_workers() if self.workers is None else resolve_workers(self.workers)
+        return self if workers == self.workers else self.replace(workers=workers)  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class SamplerSpec(Spec):
+    """Negative-phase sampling knobs (chains, persistence, burn-in).
+
+    Attributes
+    ----------
+    chains:
+        Number of parallel negative-phase chains ``p`` (Gibbs-sampler
+        trainer) or persistent particles (BGF).
+    persistent:
+        PCD-style persistence (GS trainer; the BGF's particles are
+        persistent by algorithm).
+    chain_batch:
+        ``True`` advances all chains as single batched matmuls; ``False``
+        keeps the sequential benchmarking baseline.
+    burn_in:
+        Chain-parallel settle steps applied to the persistent pool right
+        after initialization (BGF's ``particle_burn_in``; must be 0 for
+        trainers without a burn-in phase).
+    """
+
+    chains: int = 1
+    persistent: bool = False
+    chain_batch: bool = True
+    burn_in: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.chains, (int, np.integer)) or isinstance(self.chains, bool):
+            raise ValidationError(f"chains must be an int >= 1, got {self.chains!r}")
+        if self.chains < 1:
+            raise ValidationError(f"chains must be >= 1, got {self.chains}")
+        if not isinstance(self.burn_in, (int, np.integer)) or isinstance(self.burn_in, bool):
+            raise ValidationError(f"burn_in must be an int >= 0, got {self.burn_in!r}")
+        if self.burn_in < 0:
+            raise ValidationError(f"burn_in must be >= 0, got {self.burn_in}")
+        object.__setattr__(self, "chains", int(self.chains))
+        object.__setattr__(self, "burn_in", int(self.burn_in))
+        object.__setattr__(self, "persistent", bool(self.persistent))
+        object.__setattr__(self, "chain_batch", bool(self.chain_batch))
+
+
+@dataclass(frozen=True)
+class NoiseSpec(Spec):
+    """One (variation RMS, noise RMS) analog operating point (Sec. 4.5)."""
+
+    variation_rms: float = 0.0
+    noise_rms: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "variation_rms",
+            check_positive(self.variation_rms, name="variation_rms", strict=False),
+        )
+        object.__setattr__(
+            self,
+            "noise_rms",
+            check_positive(self.noise_rms, name="noise_rms", strict=False),
+        )
+
+    @property
+    def is_ideal(self) -> bool:
+        return self.variation_rms == 0.0 and self.noise_rms == 0.0
+
+    def to_noise_config(self) -> NoiseConfig:
+        """The :class:`~repro.analog.noise.NoiseConfig` this spec names."""
+        return NoiseConfig(self.variation_rms, self.noise_rms)
+
+    @classmethod
+    def from_noise_config(cls, config: Optional[NoiseConfig]) -> "NoiseSpec":
+        """Lift a (possibly ``None``) ``NoiseConfig`` into a spec."""
+        if config is None:
+            return cls()
+        return cls(variation_rms=config.variation_rms, noise_rms=config.noise_rms)
+
+
+@dataclass(frozen=True)
+class SubstrateSpec(Spec):
+    """Full configuration of a :class:`~repro.ising.bipartite.BipartiteIsingSubstrate`."""
+
+    n_visible: int
+    n_hidden: int
+    sigmoid_gain: float = 1.0
+    input_bits: Optional[int] = 8
+    comparator_offset_rms: float = 0.0
+    noise: NoiseSpec = field(default_factory=NoiseSpec)
+    compute: ComputeSpec = field(default_factory=ComputeSpec)
+
+    def __post_init__(self) -> None:
+        if self.n_visible <= 0 or self.n_hidden <= 0:
+            raise ValidationError(
+                f"substrate dimensions must be positive, got "
+                f"({self.n_visible}, {self.n_hidden})"
+            )
+        object.__setattr__(self, "n_visible", int(self.n_visible))
+        object.__setattr__(self, "n_hidden", int(self.n_hidden))
+        check_positive(self.sigmoid_gain, name="sigmoid_gain")
+        if self.input_bits is not None:
+            if not isinstance(self.input_bits, (int, np.integer)) or isinstance(
+                self.input_bits, bool
+            ) or self.input_bits < 1:
+                raise ValidationError(
+                    f"input_bits must be an int >= 1 or None, got {self.input_bits!r}"
+                )
+            object.__setattr__(self, "input_bits", int(self.input_bits))
+        check_positive(
+            self.comparator_offset_rms, name="comparator_offset_rms", strict=False
+        )
+        if not isinstance(self.noise, NoiseSpec):
+            raise ValidationError("noise must be a NoiseSpec")
+        if not isinstance(self.compute, ComputeSpec):
+            raise ValidationError("compute must be a ComputeSpec")
+
+
+@dataclass(frozen=True)
+class TrainerSpec(Spec):
+    """Declarative trainer configuration for the three training engines.
+
+    ``kind`` selects the engine: ``"cd"`` (software CD-k reference),
+    ``"gs"`` (Gibbs-sampler architecture) or ``"bgf"`` (Boltzmann gradient
+    follower).  Field semantics per kind:
+
+    * ``cd_k`` — CD/GS Gibbs steps; for the BGF it is the per-negative-phase
+      ``anneal_steps`` (the knob playing CD-k's role, per Sec. 3.3).
+    * ``sampler.chains`` — GS negative chains / BGF persistent particles.
+    * ``sampler.burn_in`` — BGF particle-pool burn-in (must be 0 elsewhere).
+    * ``reference_batch_size``, ``step_size`` — BGF step-size derivation
+      (``step_size=None`` derives ``learning_rate / reference_batch_size``).
+    * ``momentum`` — software CD only.
+    * ``compute.dtype`` — hardware engines only; the software CD reference
+      is float64 by definition.
+    """
+
+    kind: str = "gs"
+    learning_rate: float = 0.1
+    cd_k: int = 1
+    batch_size: int = 10
+    weight_decay: float = 0.0
+    momentum: float = 0.0
+    reference_batch_size: int = 50
+    step_size: Optional[float] = None
+    sampler: SamplerSpec = field(default_factory=SamplerSpec)
+    noise: NoiseSpec = field(default_factory=NoiseSpec)
+    compute: ComputeSpec = field(default_factory=ComputeSpec)
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRAINER_KINDS:
+            raise ValidationError(
+                f"unknown trainer kind {self.kind!r}; choose from {TRAINER_KINDS}"
+            )
+        check_positive(self.learning_rate, name="learning_rate")
+        if self.cd_k < 1:
+            raise ValidationError(f"cd_k must be >= 1, got {self.cd_k}")
+        if self.batch_size < 1:
+            raise ValidationError(f"batch_size must be >= 1, got {self.batch_size}")
+        object.__setattr__(self, "cd_k", int(self.cd_k))
+        object.__setattr__(self, "batch_size", int(self.batch_size))
+        check_positive(self.weight_decay, name="weight_decay", strict=False)
+        check_in_range(self.momentum, 0.0, 1.0, name="momentum", inclusive=(True, False))
+        if self.reference_batch_size < 1:
+            raise ValidationError(
+                f"reference_batch_size must be >= 1, got {self.reference_batch_size}"
+            )
+        object.__setattr__(
+            self, "reference_batch_size", int(self.reference_batch_size)
+        )
+        if self.step_size is not None:
+            check_positive(self.step_size, name="step_size")
+        if not isinstance(self.sampler, SamplerSpec):
+            raise ValidationError("sampler must be a SamplerSpec")
+        if not isinstance(self.noise, NoiseSpec):
+            raise ValidationError("noise must be a NoiseSpec")
+        if not isinstance(self.compute, ComputeSpec):
+            raise ValidationError("compute must be a ComputeSpec")
+        # Kind-specific constraints surface here, not deep in a train loop.
+        if self.kind != "cd" and self.momentum != 0.0:
+            raise ValidationError(
+                f"momentum is a software-CD knob; the {self.kind!r} trainer "
+                "does not support it"
+            )
+        if self.kind == "cd":
+            if self.compute.dtype != "float64":
+                raise ValidationError(
+                    "the software CD reference trains in float64; precision tiers "
+                    "apply to the hardware trainers ('gs', 'bgf')"
+                )
+            if self.sampler != SamplerSpec():
+                raise ValidationError(
+                    "sampler configuration (chains/persistent/chain_batch) "
+                    "applies to the hardware trainers ('gs', 'bgf'); the "
+                    "software CD reference seeds its negative chains from the "
+                    "minibatch — did you mean kind='gs'?"
+                )
+            if not self.noise.is_ideal:
+                raise ValidationError(
+                    "the software CD reference has no analog noise model; "
+                    "noise applies to the hardware trainers ('gs', 'bgf')"
+                )
+        if self.kind != "bgf":
+            if self.reference_batch_size != 50:
+                raise ValidationError(
+                    f"reference_batch_size is a BGF step-size knob; the "
+                    f"{self.kind!r} trainer uses batch_size"
+                )
+            if self.sampler.burn_in != 0:
+                raise ValidationError(
+                    f"sampler.burn_in is a BGF particle-pool knob; the "
+                    f"{self.kind!r} trainer has no burn-in phase"
+                )
+            if self.step_size is not None:
+                raise ValidationError(
+                    f"step_size is a BGF charge-pump knob; the {self.kind!r} "
+                    "trainer derives its updates from learning_rate"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Kind-specific constructors: flat knob names with the engines' own
+    # defaults (a default TrainerSpec.bgf() builds the same machine a
+    # default BGFTrainer always has: 8 particles, 2 anneal steps).
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def cd(
+        cls,
+        learning_rate: float = 0.1,
+        *,
+        cd_k: int = 1,
+        batch_size: int = 10,
+        weight_decay: float = 0.0,
+        momentum: float = 0.0,
+        compute: Optional[ComputeSpec] = None,
+    ) -> "TrainerSpec":
+        """Software CD-k reference trainer spec."""
+        return cls(
+            kind="cd",
+            learning_rate=learning_rate,
+            cd_k=cd_k,
+            batch_size=batch_size,
+            weight_decay=weight_decay,
+            momentum=momentum,
+            compute=compute if compute is not None else ComputeSpec(),
+        )
+
+    @classmethod
+    def gs(
+        cls,
+        learning_rate: float = 0.1,
+        *,
+        cd_k: int = 1,
+        batch_size: int = 10,
+        chains: int = 1,
+        persistent: bool = False,
+        chain_batch: bool = True,
+        weight_decay: float = 0.0,
+        noise: Optional[NoiseSpec] = None,
+        compute: Optional[ComputeSpec] = None,
+    ) -> "TrainerSpec":
+        """Gibbs-sampler architecture trainer spec (Sec. 3.2)."""
+        return cls(
+            kind="gs",
+            learning_rate=learning_rate,
+            cd_k=cd_k,
+            batch_size=batch_size,
+            weight_decay=weight_decay,
+            sampler=SamplerSpec(
+                chains=chains, persistent=persistent, chain_batch=chain_batch
+            ),
+            noise=noise if noise is not None else NoiseSpec(),
+            compute=compute if compute is not None else ComputeSpec(),
+        )
+
+    @classmethod
+    def bgf(
+        cls,
+        learning_rate: float = 0.1,
+        *,
+        reference_batch_size: int = 50,
+        anneal_steps: int = 2,
+        particles: int = 8,
+        burn_in: int = 0,
+        step_size: Optional[float] = None,
+        noise: Optional[NoiseSpec] = None,
+        compute: Optional[ComputeSpec] = None,
+    ) -> "TrainerSpec":
+        """Boltzmann-gradient-follower trainer spec (Sec. 3.3).
+
+        ``anneal_steps`` maps to the spec's ``cd_k`` field and ``particles``
+        to ``sampler.chains``; the defaults reproduce ``BGFConfig()``.
+        """
+        return cls(
+            kind="bgf",
+            learning_rate=learning_rate,
+            cd_k=anneal_steps,
+            reference_batch_size=reference_batch_size,
+            step_size=step_size,
+            sampler=SamplerSpec(chains=particles, burn_in=burn_in),
+            noise=noise if noise is not None else NoiseSpec(),
+            compute=compute if compute is not None else ComputeSpec(),
+        )
+
+
+@dataclass(frozen=True)
+class EstimatorSpec(Spec):
+    """AIS log-partition estimator configuration (chains, betas, tier)."""
+
+    chains: int = 64
+    betas: int = 200
+    compute: ComputeSpec = field(default_factory=ComputeSpec)
+
+    def __post_init__(self) -> None:
+        if self.chains < 1:
+            raise ValidationError(f"n_chains must be >= 1, got {self.chains}")
+        if self.betas < 2:
+            raise ValidationError(f"n_betas must be >= 2, got {self.betas}")
+        object.__setattr__(self, "chains", int(self.chains))
+        object.__setattr__(self, "betas", int(self.betas))
+        if not isinstance(self.compute, ComputeSpec):
+            raise ValidationError("compute must be a ComputeSpec")
+
+
+@dataclass(frozen=True)
+class RunSpec(Spec):
+    """Top-level experiment run description (what ``repro.api`` executes).
+
+    Attributes
+    ----------
+    experiment:
+        Registered experiment name (``"figure7"``, ``"table2"``, ...).
+    preset:
+        Informational label of the preset this spec came from (``"ci"``,
+        ``"paper"``, or ``"custom"`` after overrides).
+    seed:
+        Master seed, forwarded to experiments that accept one.
+    compute:
+        Optional execution-tier overrides (dtype/workers/fast_path) for
+        experiments that thread them; ``None`` keeps the experiment's
+        defaults.
+    params:
+        Experiment-specific keyword arguments (epochs, datasets, ...).
+        Values are normalized to plain-data canonical form (lists become
+        tuples) so the dict round trip is exact; names are validated
+        against the experiment's signature by the registry at run time.
+        The reserved knobs ``seed``/``dtype``/``workers``/``fast_path``
+        must live in their typed fields, not here.
+    """
+
+    experiment: str
+    preset: str = "ci"
+    seed: int = 0
+    compute: Optional[ComputeSpec] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.experiment or not isinstance(self.experiment, str):
+            raise ValidationError(
+                f"experiment must be a non-empty string, got {self.experiment!r}"
+            )
+        if not self.preset or not isinstance(self.preset, str):
+            raise ValidationError(
+                f"preset must be a non-empty string, got {self.preset!r}"
+            )
+        if isinstance(self.seed, bool) or not isinstance(self.seed, (int, np.integer)):
+            raise ValidationError(f"seed must be an int, got {self.seed!r}")
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.compute is not None and not isinstance(self.compute, ComputeSpec):
+            raise ValidationError("compute must be a ComputeSpec or None")
+        if not isinstance(self.params, Mapping):
+            raise ValidationError(
+                f"params must be a mapping, got {type(self.params).__name__}"
+            )
+        params: Dict[str, Any] = {}
+        for key, value in self.params.items():
+            if not isinstance(key, str):
+                raise ValidationError(f"params keys must be strings, got {key!r}")
+            if key in ("seed", "dtype", "workers", "fast_path"):
+                raise ValidationError(
+                    f"params may not carry {key!r}; set it through the typed "
+                    "RunSpec fields (seed / compute) so it is recorded once"
+                )
+            params[key] = _normalize_params(value)
+        object.__setattr__(self, "params", params)
+
+    def with_overrides(self, **settings: Any) -> "RunSpec":
+        """Apply ``--set``-style overrides, routing each key to its field.
+
+        Compute knobs (``dtype``, ``workers``, ``fast_path``) land in
+        :attr:`compute` (created on demand), ``seed`` in :attr:`seed`, and
+        everything else in :attr:`params`.  The preset label flips to
+        ``"custom"`` so recorded metadata distinguishes overridden runs.
+        """
+        if not settings:
+            return self
+        compute = self.compute
+        seed = self.seed
+        params = dict(self.params)
+        for key, value in settings.items():
+            if key in ("dtype", "workers", "fast_path"):
+                compute = (compute or ComputeSpec()).replace(**{key: value})
+            elif key == "seed":
+                seed = value
+            else:
+                params[key] = value
+        return RunSpec(
+            experiment=self.experiment,
+            preset="custom",
+            seed=seed,
+            compute=compute,
+            params=params,
+        )
+
+
+#: Nested-spec field registry used by ``Spec.from_dict`` to rebuild
+#: sub-specs from their serialized dict form.
+_NESTED_SPEC_FIELDS: Dict[Tuple[str, str], type] = {
+    ("SubstrateSpec", "noise"): NoiseSpec,
+    ("SubstrateSpec", "compute"): ComputeSpec,
+    ("TrainerSpec", "sampler"): SamplerSpec,
+    ("TrainerSpec", "noise"): NoiseSpec,
+    ("TrainerSpec", "compute"): ComputeSpec,
+    ("EstimatorSpec", "compute"): ComputeSpec,
+    ("RunSpec", "compute"): ComputeSpec,
+}

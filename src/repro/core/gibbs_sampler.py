@@ -22,13 +22,24 @@ from typing import Optional
 import numpy as np
 
 from repro.analog.noise import NoiseConfig
+from repro.config.specs import (
+    ComputeSpec,
+    NoiseSpec,
+    SamplerSpec,
+    SubstrateSpec,
+    TrainerSpec,
+)
 from repro.core.host import HostStatistics
 from repro.ising.bipartite import BipartiteIsingSubstrate
 from repro.rbm.rbm import BernoulliRBM, TrainingHistory
 from repro.utils.batching import minibatches
-from repro.utils.parallel import resolve_workers
+from repro.utils.deprecation import warn_kwargs_deprecated
 from repro.utils.rng import SeedLike, as_rng
-from repro.utils.validation import ValidationError, check_array, check_positive
+from repro.utils.validation import (
+    ValidationError,
+    check_array,
+    reject_kwargs_with_spec,
+)
 
 
 class GibbsSamplerMachine:
@@ -46,12 +57,18 @@ class GibbsSamplerMachine:
         Substrate precision tier (``"float64"`` default, or ``"float32"``
         for the single-precision kernels with the fused Bernoulli latch);
         forwarded to the substrate.  Host-side statistics stay float64.
+    spec:
+        Typed substrate configuration
+        (:class:`~repro.config.SubstrateSpec`) superseding the per-knob
+        keyword arguments; the kwarg form builds the identical spec
+        internally (one ``DeprecationWarning`` per process) and stays
+        bit-identical under fixed seeds.
     """
 
     def __init__(
         self,
-        n_visible: int,
-        n_hidden: int,
+        n_visible: Optional[int] = None,
+        n_hidden: Optional[int] = None,
         *,
         noise_config: Optional[NoiseConfig] = None,
         sigmoid_gain: float = 1.0,
@@ -59,18 +76,42 @@ class GibbsSamplerMachine:
         rng: SeedLike = None,
         fast_path: bool = True,
         dtype: "str" = "float64",
+        spec: Optional[SubstrateSpec] = None,
     ):
-        self.substrate = BipartiteIsingSubstrate(
-            n_visible,
-            n_hidden,
-            noise_config=noise_config,
-            sigmoid_gain=sigmoid_gain,
-            input_bits=input_bits,
-            rng=rng,
-            fast_path=fast_path,
-            dtype=dtype,
-        )
-        self.fast_path = bool(fast_path)
+        if spec is not None:
+            if n_visible is not None or n_hidden is not None:
+                raise ValidationError(
+                    "pass either spec= or (n_visible, n_hidden) dimensions, not both"
+                )
+            reject_kwargs_with_spec(
+                "GibbsSamplerMachine",
+                noise_config=(noise_config, None),
+                sigmoid_gain=(sigmoid_gain, 1.0),
+                input_bits=(input_bits, 8),
+                fast_path=(fast_path, True),
+                dtype=(dtype, "float64"),
+            )
+        else:
+            if n_visible is None or n_hidden is None:
+                raise ValidationError(
+                    "machine dimensions (n_visible, n_hidden) are required "
+                    "when no spec is given"
+                )
+            spec = SubstrateSpec(
+                n_visible=n_visible,
+                n_hidden=n_hidden,
+                sigmoid_gain=sigmoid_gain,
+                input_bits=input_bits,
+                noise=NoiseSpec.from_noise_config(noise_config),
+                compute=ComputeSpec(dtype=dtype, fast_path=fast_path),
+            )
+            warn_kwargs_deprecated(
+                "GibbsSamplerMachine",
+                "repro.config.SubstrateSpec (+ repro.api.build_trainer)",
+            )
+        self.spec = spec
+        self.substrate = BipartiteIsingSubstrate(spec=spec, rng=rng)
+        self.fast_path = spec.compute.fast_path
         self.host = HostStatistics()
 
     @property
@@ -228,6 +269,13 @@ class GibbsSamplerTrainer:
         float64 (mixed-precision training: sample in the tier, accumulate
         in double).  Float32 sampling is pinned statistically, not by seed
         (``tests/property/test_precision_tiers.py``).
+    spec:
+        Typed configuration (:class:`~repro.config.TrainerSpec` with
+        ``kind="gs"``) superseding the per-knob keyword arguments above
+        (``machine``/``rng``/``callback`` stay runtime arguments).  The
+        kwarg form builds the identical spec internally (one
+        ``DeprecationWarning`` per process) and runs the same code path,
+        so seeded results are bit-identical.  See ``docs/api.md``.
 
     RNG stream order
     ----------------
@@ -258,31 +306,67 @@ class GibbsSamplerTrainer:
         callback=None,
         fast_path: bool = True,
         dtype: "str" = "float64",
+        spec: Optional[TrainerSpec] = None,
     ):
-        self.learning_rate = check_positive(learning_rate, name="learning_rate")
-        if cd_k < 1:
-            raise ValidationError(f"cd_k must be >= 1, got {cd_k}")
-        if batch_size < 1:
-            raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
-        if chains < 1:
-            raise ValidationError(f"chains must be >= 1, got {chains}")
-        self.cd_k = int(cd_k)
-        self.batch_size = int(batch_size)
-        self.chains = int(chains)
-        self.persistent = bool(persistent)
-        self.chain_batch = bool(chain_batch)
-        if workers is not None:
-            # Fail fast on a typo'd shard count; None stays deferred so the
-            # REPRO_WORKERS environment default is read per settle call.
-            resolve_workers(workers)
-        self.workers = workers
-        self.weight_decay = check_positive(weight_decay, name="weight_decay", strict=False)
+        if spec is not None:
+            if spec.kind != "gs":
+                raise ValidationError(
+                    f"GibbsSamplerTrainer needs a TrainerSpec with kind='gs', "
+                    f"got kind={spec.kind!r}"
+                )
+            reject_kwargs_with_spec(
+                "GibbsSamplerTrainer",
+                learning_rate=(learning_rate, 0.1),
+                cd_k=(cd_k, 1),
+                batch_size=(batch_size, 10),
+                chains=(chains, 1),
+                persistent=(persistent, False),
+                chain_batch=(chain_batch, True),
+                workers=(workers, None),
+                weight_decay=(weight_decay, 0.0),
+                noise_config=(noise_config, None),
+                fast_path=(fast_path, True),
+                dtype=(dtype, "float64"),
+            )
+        else:
+            # Kwarg-style shim: ComputeSpec validates workers without
+            # expanding it, so None stays deferred and the REPRO_WORKERS
+            # environment default is still read per settle call.
+            spec = TrainerSpec(
+                kind="gs",
+                learning_rate=learning_rate,
+                cd_k=cd_k,
+                batch_size=batch_size,
+                weight_decay=weight_decay,
+                sampler=SamplerSpec(
+                    chains=chains, persistent=persistent, chain_batch=chain_batch
+                ),
+                noise=NoiseSpec.from_noise_config(noise_config),
+                compute=ComputeSpec(dtype=dtype, workers=workers, fast_path=fast_path),
+            )
+            warn_kwargs_deprecated(
+                "GibbsSamplerTrainer",
+                "repro.config.TrainerSpec(kind='gs') (+ repro.api.build_trainer)",
+            )
+        self.spec = spec
+        self.learning_rate = spec.learning_rate
+        self.cd_k = spec.cd_k
+        self.batch_size = spec.batch_size
+        self.chains = spec.sampler.chains
+        self.persistent = spec.sampler.persistent
+        self.chain_batch = spec.sampler.chain_batch
+        self.workers = spec.compute.workers
+        self.weight_decay = spec.weight_decay
         self.machine = machine
-        self.noise_config = noise_config
+        self.noise_config = (
+            noise_config
+            if noise_config is not None
+            else (None if spec.noise.is_ideal else spec.noise.to_noise_config())
+        )
         self._rng = as_rng(rng)
         self.callback = callback
-        self.fast_path = bool(fast_path)
-        self.dtype = np.dtype(dtype)
+        self.fast_path = spec.compute.fast_path
+        self.dtype = np.dtype(spec.compute.dtype)
         self._chains_h: Optional[np.ndarray] = None
 
     @property
@@ -296,12 +380,13 @@ class GibbsSamplerTrainer:
             self.machine.n_hidden,
         ) != (rbm.n_visible, rbm.n_hidden):
             self.machine = GibbsSamplerMachine(
-                rbm.n_visible,
-                rbm.n_hidden,
-                noise_config=self.noise_config,
+                spec=SubstrateSpec(
+                    n_visible=rbm.n_visible,
+                    n_hidden=rbm.n_hidden,
+                    noise=self.spec.noise,
+                    compute=self.spec.compute,
+                ),
                 rng=self._rng,
-                fast_path=self.fast_path,
-                dtype=self.dtype,
             )
         return self.machine
 

@@ -34,13 +34,25 @@ import numpy as np
 from repro.analog.charge_pump import ChargePumpUpdater
 from repro.analog.converters import AnalogToDigitalConverter
 from repro.analog.noise import NoiseConfig
+from repro.config.specs import (
+    ComputeSpec,
+    NoiseSpec,
+    SamplerSpec,
+    SubstrateSpec,
+    TrainerSpec,
+)
 from repro.core.host import HostStatistics
 from repro.ising.bipartite import BipartiteIsingSubstrate
 from repro.rbm.rbm import BernoulliRBM, TrainingHistory
+from repro.utils.deprecation import warn_kwargs_deprecated
 from repro.utils.numerics import bernoulli_sample
-from repro.utils.parallel import resolve_workers
 from repro.utils.rng import SeedLike, as_rng, spawn_rngs
-from repro.utils.validation import ValidationError, check_array, check_positive
+from repro.utils.validation import (
+    ValidationError,
+    check_array,
+    check_positive,
+    reject_kwargs_with_spec,
+)
 
 
 @dataclass(frozen=True)
@@ -122,14 +134,15 @@ class BoltzmannGradientFollower:
         # the (tier-dtype) coupling array in place with float64 step math —
         # the update law itself is not precision-tiered.
         self.substrate = BipartiteIsingSubstrate(
-            n_visible,
-            n_hidden,
-            noise_config=self.noise_config,
-            sigmoid_gain=sigmoid_gain,
-            input_bits=input_bits,
+            spec=SubstrateSpec(
+                n_visible=n_visible,
+                n_hidden=n_hidden,
+                sigmoid_gain=sigmoid_gain,
+                input_bits=input_bits,
+                noise=NoiseSpec.from_noise_config(self.noise_config),
+                compute=ComputeSpec(dtype=dtype, fast_path=fast_path),
+            ),
             rng=streams[0],
-            fast_path=fast_path,
-            dtype=dtype,
         )
         self.weight_pump = ChargePumpUpdater(
             (n_visible, n_hidden),
@@ -437,6 +450,15 @@ class BGFTrainer:
         Substrate precision tier of the lazily-created machine
         (``"float64"`` default; ``"float32"`` for the single-precision
         settle kernels — statistically pinned, not bit-identical).
+    spec:
+        Typed configuration (:class:`~repro.config.TrainerSpec` with
+        ``kind="bgf"``; ``cd_k`` maps to ``anneal_steps``,
+        ``sampler.chains`` to ``n_particles``, ``sampler.burn_in`` to
+        ``particle_burn_in``) superseding the keyword arguments above.  The
+        kwarg form builds the equivalent spec internally (one
+        ``DeprecationWarning`` per process) and runs the same code path, so
+        seeded results are bit-identical; an explicit ``config`` object
+        stays authoritative for the expert knobs the spec does not model.
     """
 
     def __init__(
@@ -452,28 +474,92 @@ class BGFTrainer:
         callback=None,
         fast_path: bool = True,
         dtype: "str" = "float64",
+        spec: Optional[TrainerSpec] = None,
     ):
-        check_positive(learning_rate, name="learning_rate")
-        if reference_batch_size < 1:
-            raise ValidationError(
-                f"reference_batch_size must be >= 1, got {reference_batch_size}"
+        if spec is not None:
+            if spec.kind != "bgf":
+                raise ValidationError(
+                    f"BGFTrainer needs a TrainerSpec with kind='bgf', "
+                    f"got kind={spec.kind!r}"
+                )
+            reject_kwargs_with_spec(
+                "BGFTrainer",
+                learning_rate=(learning_rate, 0.1),
+                reference_batch_size=(reference_batch_size, 50),
+                particle_burn_in=(particle_burn_in, 0),
+                workers=(workers, None),
+                noise_config=(noise_config, None),
+                fast_path=(fast_path, True),
+                dtype=(dtype, "float64"),
             )
-        if particle_burn_in < 0:
-            raise ValidationError(
-                f"particle_burn_in must be >= 0, got {particle_burn_in}"
+            if config is None:
+                # Spec fields map onto the BGF operating parameters:
+                # cd_k plays anneal_steps' role, sampler.chains is the
+                # persistent-particle count, and step_size=None derives the
+                # paper's alpha / batch_size guidance.
+                config = BGFConfig(
+                    step_size=(
+                        spec.step_size
+                        if spec.step_size is not None
+                        else spec.learning_rate / spec.reference_batch_size
+                    ),
+                    n_particles=spec.sampler.chains,
+                    anneal_steps=spec.cd_k,
+                )
+            else:
+                # An explicit config is authoritative; reconcile the spec's
+                # modelled fields to it so the recorded spec describes the
+                # run that actually happens (not the values config shadowed).
+                spec = spec.replace(
+                    step_size=config.step_size,
+                    cd_k=config.anneal_steps,
+                    sampler=spec.sampler.replace(chains=config.n_particles),
+                )
+        else:
+            check_positive(learning_rate, name="learning_rate")
+            if reference_batch_size < 1:
+                raise ValidationError(
+                    f"reference_batch_size must be >= 1, got {reference_batch_size}"
+                )
+            if particle_burn_in < 0:
+                raise ValidationError(
+                    f"particle_burn_in must be >= 0, got {particle_burn_in}"
+                )
+            if config is None:
+                config = BGFConfig(step_size=learning_rate / reference_batch_size)
+            # Kwarg-style shim: record the equivalent declarative spec.  The
+            # BGFConfig object itself stays authoritative, so expert knobs
+            # the spec does not model (weight_range, saturation,
+            # readout_bits) keep working unchanged.
+            spec = TrainerSpec(
+                kind="bgf",
+                learning_rate=learning_rate,
+                cd_k=config.anneal_steps,
+                reference_batch_size=reference_batch_size,
+                step_size=config.step_size,
+                sampler=SamplerSpec(
+                    chains=config.n_particles, burn_in=particle_burn_in
+                ),
+                noise=NoiseSpec.from_noise_config(noise_config),
+                compute=ComputeSpec(dtype=dtype, workers=workers, fast_path=fast_path),
             )
-        if config is None:
-            config = BGFConfig(step_size=learning_rate / reference_batch_size)
+            warn_kwargs_deprecated(
+                "BGFTrainer",
+                "repro.config.TrainerSpec(kind='bgf') (+ repro.api.build_trainer)",
+            )
+        self.spec = spec
         self.config = config
-        self.particle_burn_in = int(particle_burn_in)
-        if workers is not None:
-            resolve_workers(workers)  # fail fast; None defers to the env
-        self.workers = workers
-        self.noise_config = noise_config
+        self.particle_burn_in = spec.sampler.burn_in
+        self.workers = spec.compute.workers
+        self.noise_config = (
+            noise_config
+            if noise_config is not None
+            else (None if spec.noise.is_ideal else spec.noise.to_noise_config())
+        )
         self._rng = as_rng(rng)
         self.callback = callback
-        self.fast_path = bool(fast_path)
-        self.dtype = np.dtype(dtype)
+        self.fast_path = spec.compute.fast_path
+        self.dtype = np.dtype(spec.compute.dtype)
         self.machine: Optional[BoltzmannGradientFollower] = None
 
     def _ensure_machine(self, rbm: BernoulliRBM) -> BoltzmannGradientFollower:

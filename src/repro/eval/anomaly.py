@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.datasets.base import AnomalyDataset
 from repro.eval.metrics import roc_auc, roc_curve
+from repro.config.specs import TrainerSpec
 from repro.rbm.rbm import BernoulliRBM, CDTrainer
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import ValidationError, check_array
@@ -58,7 +59,7 @@ class RBMAnomalyDetector:
         self.score_method = score_method
         self._rng = as_rng(rng)
         self.trainer = trainer if trainer is not None else CDTrainer(
-            learning_rate=0.05, cd_k=1, batch_size=20, rng=self._rng
+            spec=TrainerSpec.cd(0.05, cd_k=1, batch_size=20), rng=self._rng
         )
         self.rbm: Optional[BernoulliRBM] = None
         self._train_mean_score: float = 0.0

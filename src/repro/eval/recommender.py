@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.datasets.base import RatingsDataset
 from repro.eval.metrics import mean_absolute_error
+from repro.config.specs import TrainerSpec
 from repro.rbm.rbm import BernoulliRBM, CDTrainer
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import ValidationError
@@ -60,7 +61,7 @@ class RBMRecommender:
         self.epochs = int(epochs)
         self._rng = as_rng(rng)
         self.trainer = trainer if trainer is not None else CDTrainer(
-            learning_rate=0.05, cd_k=1, batch_size=10, rng=self._rng
+            spec=TrainerSpec.cd(0.05, cd_k=1, batch_size=10), rng=self._rng
         )
         self.rbm: Optional[BernoulliRBM] = None
         self._rating_levels: int = 5

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.config.specs import TrainerSpec
 from repro.core.gradient_follower import BGFConfig, BGFTrainer
 from repro.datasets.registry import get_benchmark, load_benchmark_dataset
 from repro.experiments.base import ExperimentResult, format_table
@@ -48,7 +49,11 @@ def _final_quality(
 ) -> float:
     """Train a copy of ``base`` with the given BGF configuration and score it."""
     rbm = base.copy()
-    trainer = BGFTrainer(learning_rate=0.2, config=config, rng=seed + 1)
+    # The ablated BGFConfig is the subject here, so it rides the expert
+    # config= escape hatch over a baseline spec.
+    trainer = BGFTrainer(
+        spec=TrainerSpec.bgf(learning_rate=0.2), config=config, rng=seed + 1
+    )
     trainer.train(rbm, data, epochs=epochs)
     return average_log_probability(
         rbm, data, n_chains=ais_chains, n_betas=ais_betas, rng=seed

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analog.noise import FIGURE8_NOISE_CONFIGS, NoiseConfig
+from repro.config.specs import NoiseSpec, TrainerSpec
 from repro.core.gradient_follower import BGFTrainer
 from repro.datasets.registry import get_benchmark, load_benchmark_dataset
 from repro.eval.anomaly import RBMAnomalyDetector
@@ -43,9 +44,11 @@ def run_figure10(
     for config_index, noise in enumerate(noise_configs):
         rngs = spawn_rngs(seed + config_index, 2)
         trainer = BGFTrainer(
-            learning_rate,
-            reference_batch_size=20,
-            noise_config=noise,
+            spec=TrainerSpec.bgf(
+                learning_rate,
+                reference_batch_size=20,
+                noise=NoiseSpec.from_noise_config(noise),
+            ),
             rng=rngs[0],
         )
         detector = RBMAnomalyDetector(

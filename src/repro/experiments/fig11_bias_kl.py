@@ -19,7 +19,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.gradient_follower import BGFConfig, BGFTrainer
+from repro.config.specs import TrainerSpec
+from repro.core.gradient_follower import BGFTrainer
 from repro.eval.metrics import kl_divergence
 from repro.experiments.base import ExperimentResult, format_table
 from repro.rbm.ml import MaximumLikelihoodTrainer
@@ -77,17 +78,33 @@ def run_figure11(
 
             trainers = {
                 "ML": ("ml", MaximumLikelihoodTrainer(learning_rate, rng=rngs[1])),
-                "cd1": ("cd", CDTrainer(learning_rate, cd_k=1, batch_size=10, rng=rngs[2])),
+                "cd1": (
+                    "cd",
+                    CDTrainer(
+                        spec=TrainerSpec.cd(learning_rate, cd_k=1, batch_size=10),
+                        rng=rngs[2],
+                    ),
+                ),
                 f"cd{cd_long_k}": (
                     "cd",
-                    CDTrainer(learning_rate, cd_k=cd_long_k, batch_size=10, rng=rngs[3]),
+                    CDTrainer(
+                        spec=TrainerSpec.cd(
+                            learning_rate, cd_k=cd_long_k, batch_size=10
+                        ),
+                        rng=rngs[3],
+                    ),
                 ),
                 "BGF": (
                     "bgf",
+                    # step_size/anneal_steps mirror the paper's Appendix-A
+                    # setup (BGFConfig(step_size=lr/10, anneal_steps=5)).
                     BGFTrainer(
-                        learning_rate,
-                        reference_batch_size=10,
-                        config=BGFConfig(step_size=learning_rate / 10, anneal_steps=5),
+                        spec=TrainerSpec.bgf(
+                            learning_rate,
+                            reference_batch_size=10,
+                            step_size=learning_rate / 10,
+                            anneal_steps=5,
+                        ),
                         rng=rngs[4],
                     ),
                 ),

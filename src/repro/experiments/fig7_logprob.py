@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.config.specs import ComputeSpec, TrainerSpec
 from repro.core.gibbs_sampler import GibbsSamplerTrainer
 from repro.core.gradient_follower import BGFTrainer
 from repro.datasets.registry import load_benchmark_dataset, get_benchmark
@@ -146,29 +147,39 @@ def run_figure7(
             dtype=dtype, workers=workers,
         )
 
+        # Trainers are built through the typed spec layer (the kwarg-style
+        # constructors are deprecated shims over the same code path).
+        hardware_compute = ComputeSpec(dtype=dtype, workers=workers)
         factories = {
             "cd1": lambda: CDTrainer(
-                learning_rate, cd_k=1, batch_size=batch_size, rng=rngs[1]
+                spec=TrainerSpec.cd(learning_rate, cd_k=1, batch_size=batch_size),
+                rng=rngs[1],
             ),
             "cd10": lambda: CDTrainer(
-                learning_rate, cd_k=10, batch_size=batch_size, rng=rngs[2]
+                spec=TrainerSpec.cd(learning_rate, cd_k=10, batch_size=batch_size),
+                rng=rngs[2],
             ),
             "BGF": lambda: BGFTrainer(
-                learning_rate, reference_batch_size=batch_size, rng=rngs[3],
-                dtype=dtype, workers=workers,
+                spec=TrainerSpec.bgf(
+                    learning_rate,
+                    reference_batch_size=batch_size,
+                    compute=hardware_compute,
+                ),
+                rng=rngs[3],
             ),
         }
         trainers = {m: factories[m]() for m in FIGURE7_METHODS if m in methods}
         if gs_chains:
             trainers[f"gs-pcd{gs_chains}"] = GibbsSamplerTrainer(
-                learning_rate,
-                cd_k=1,
-                batch_size=batch_size,
-                chains=gs_chains,
-                persistent=True,
+                spec=TrainerSpec.gs(
+                    learning_rate,
+                    cd_k=1,
+                    batch_size=batch_size,
+                    chains=gs_chains,
+                    persistent=True,
+                    compute=hardware_compute,
+                ),
                 rng=rngs[4],
-                dtype=dtype,
-                workers=workers,
             )
         for method_name, trainer in trainers.items():
             # Epoch 0 is the shared untrained starting point; epochs 1..E are

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analog.noise import FIGURE8_NOISE_CONFIGS, NoiseConfig
+from repro.config.specs import NoiseSpec, TrainerSpec
 from repro.core.gradient_follower import BGFTrainer
 from repro.datasets.registry import get_benchmark, load_benchmark_dataset
 from repro.experiments.base import ExperimentResult, format_table
@@ -63,9 +64,11 @@ def run_figure8(
             )
 
         trainer = BGFTrainer(
-            learning_rate,
-            reference_batch_size=batch_size,
-            noise_config=noise,
+            spec=TrainerSpec.bgf(
+                learning_rate,
+                reference_batch_size=batch_size,
+                noise=NoiseSpec.from_noise_config(noise),
+            ),
             rng=rngs[1],
             callback=callback,
         )

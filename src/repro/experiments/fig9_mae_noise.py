@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.analog.noise import FIGURE8_NOISE_CONFIGS, NoiseConfig
+from repro.config.specs import NoiseSpec, TrainerSpec
 from repro.core.gradient_follower import BGFTrainer
 from repro.datasets.registry import get_benchmark, load_benchmark_dataset
 from repro.eval.recommender import RBMRecommender
@@ -38,9 +39,11 @@ def run_figure9(
     for config_index, noise in enumerate(noise_configs):
         rngs = spawn_rngs(seed + config_index, 2)
         trainer = BGFTrainer(
-            learning_rate,
-            reference_batch_size=10,
-            noise_config=noise,
+            spec=TrainerSpec.bgf(
+                learning_rate,
+                reference_batch_size=10,
+                noise=NoiseSpec.from_noise_config(noise),
+            ),
             rng=rngs[0],
         )
         recommender = RBMRecommender(

@@ -1,10 +1,18 @@
 """Run every experiment and print the regenerated tables/figures.
 
+Legacy driver, now a thin adapter over the registry-driven spec API
+(:mod:`repro.api`): prefer ``python -m repro run <name> [--preset paper]``.
+
 Usage::
 
     python -m repro.experiments.runner            # fast, CI-scale
     python -m repro.experiments.runner --scale paper
     python -m repro.experiments.runner --only figure5 table3
+
+``--scale paper`` routes each experiment through its registered ``paper``
+preset where one exists — figure7/table4 run their tuned
+``run_*_paper`` configurations (float32 tier, PCD engine, ``workers=
+"auto"``), not merely ``scale="paper"`` on the base runner.
 """
 
 from __future__ import annotations
@@ -12,34 +20,44 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.experiments.fig5_execution_time import format_figure5, run_figure5
-from repro.experiments.fig6_energy import format_figure6, run_figure6
-from repro.experiments.fig7_logprob import format_figure7, run_figure7
-from repro.experiments.fig8_noise import format_figure8, run_figure8
-from repro.experiments.fig9_mae_noise import format_figure9, run_figure9
-from repro.experiments.fig10_roc_noise import format_figure10, run_figure10
-from repro.experiments.fig11_bias_kl import format_figure11, run_figure11
-from repro.experiments.table2_area_power import format_table2, run_table2
-from repro.experiments.table3_accelerators import format_table3, run_table3
-from repro.experiments.table4_accuracy import format_table4, run_table4
+from repro.api.facade import run_experiment
+from repro.api.registry import experiment_names, get_experiment
+from repro.config.specs import RunSpec
+
+
+def _select_spec(name: str, scale: str, seed: int) -> RunSpec:
+    """The RunSpec the legacy ``(scale, seed)`` interface means for ``name``.
+
+    ``scale="paper"`` selects the experiment's ``paper`` preset when it has
+    one (the tuned figure7/table4 configurations), falling back to a plain
+    ``scale`` param override where the runner accepts one; analytic
+    experiments ignore scale entirely.  ``seed`` applies only where the
+    runner threads it, exactly like the old hand-rolled registry.
+    """
+    experiment = get_experiment(name)
+    if scale == "paper" and "paper" in experiment.presets:
+        spec = experiment.presets["paper"]
+    else:
+        spec = experiment.presets["ci"]
+        if scale != "ci" and "scale" in experiment.accepts:
+            spec = spec.with_overrides(scale=scale)
+    if "seed" in experiment.accepts:
+        spec = spec.replace(seed=seed)
+    return spec
 
 
 def _registry(scale: str, seed: int) -> Dict[str, Callable[[], str]]:
     """Map experiment name -> thunk returning the formatted output."""
-    return {
-        "figure5": lambda: format_figure5(run_figure5()),
-        "figure6": lambda: format_figure6(run_figure6()),
-        "table2": lambda: format_table2(run_table2()),
-        "table3": lambda: format_table3(run_table3()),
-        "figure7": lambda: format_figure7(run_figure7(scale=scale, seed=seed)),
-        "table4": lambda: format_table4(run_table4(scale=scale, seed=seed)),
-        "figure8": lambda: format_figure8(run_figure8(scale=scale, seed=seed)),
-        "figure9": lambda: format_figure9(run_figure9(scale=scale, seed=seed)),
-        "figure10": lambda: format_figure10(run_figure10(scale=scale, seed=seed)),
-        "figure11": lambda: format_figure11(run_figure11(seed=seed)),
-    }
+
+    def thunk(name: str) -> Callable[[], str]:
+        experiment = get_experiment(name)
+        spec = _select_spec(name, scale, seed)
+        return lambda: experiment.formatter(run_experiment(spec))
+
+    return {name: thunk(name) for name in experiment_names()}
 
 
 def run_all(
@@ -74,6 +92,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--only", nargs="*", default=None, help="subset of experiments to run")
     args = parser.parse_args(argv)
+    warnings.warn(
+        "python -m repro.experiments.runner is deprecated; use "
+        "`python -m repro run <experiment> [--preset paper]` (the "
+        "registry-driven spec CLI)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     run_all(args.only, scale=args.scale, seed=args.seed)
     return 0
 

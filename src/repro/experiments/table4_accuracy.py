@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.config.specs import ComputeSpec, TrainerSpec
 from repro.core.gibbs_sampler import GibbsSamplerTrainer
 from repro.core.gradient_follower import BGFTrainer
 from repro.datasets.registry import get_benchmark, load_benchmark_dataset
@@ -48,27 +49,37 @@ def _make_trainer(
 
     ``dtype`` selects the substrate precision tier for the hardware methods
     (BGF and GS); the software CD reference always trains in float64.
-    ``workers`` threads the hardware methods' sharded settle layer.
+    ``workers`` threads the hardware methods' sharded settle layer.  All
+    three build through the typed spec layer (:mod:`repro.config`).
     """
     if method == "cd10":
-        return CDTrainer(learning_rate, cd_k=10, batch_size=batch_size, rng=rng)
+        return CDTrainer(
+            spec=TrainerSpec.cd(learning_rate, cd_k=10, batch_size=batch_size),
+            rng=rng,
+        )
+    hardware_compute = ComputeSpec(dtype=dtype, workers=workers)
     if method == "bgf":
         return BGFTrainer(
-            learning_rate, reference_batch_size=batch_size, rng=rng, dtype=dtype,
-            workers=workers,
+            spec=TrainerSpec.bgf(
+                learning_rate,
+                reference_batch_size=batch_size,
+                compute=hardware_compute,
+            ),
+            rng=rng,
         )
     if method == "gs":
         # Gibbs-sampler architecture with the multi-chain PCD negative phase
         # (persistent chains advanced through the chain-parallel kernel).
         return GibbsSamplerTrainer(
-            learning_rate,
-            cd_k=1,
-            batch_size=batch_size,
-            chains=gs_chains,
-            persistent=True,
+            spec=TrainerSpec.gs(
+                learning_rate,
+                cd_k=1,
+                batch_size=batch_size,
+                chains=gs_chains,
+                persistent=True,
+                compute=hardware_compute,
+            ),
             rng=rng,
-            dtype=dtype,
-            workers=workers,
         )
     raise ValueError(f"unknown method {method!r}")
 

@@ -33,6 +33,8 @@ from repro.analog.converters import DigitalToTimeConverter
 from repro.analog.noise import NoiseConfig, NoiseModel
 from repro.analog.rng import StochasticNeuronSampler
 from repro.analog.sigmoid_unit import SigmoidUnit
+from repro.config.specs import ComputeSpec, NoiseSpec, SubstrateSpec
+from repro.utils.deprecation import warn_kwargs_deprecated
 from repro.utils.parallel import (
     ShardedExecutor,
     resolve_workers,
@@ -40,7 +42,12 @@ from repro.utils.parallel import (
     shard_slices,
 )
 from repro.utils.rng import SeedLike, as_rng, spawn_rngs
-from repro.utils.validation import ValidationError, check_array, check_binary
+from repro.utils.validation import (
+    ValidationError,
+    check_array,
+    check_binary,
+    reject_kwargs_with_spec,
+)
 
 
 class _ShardContext(NamedTuple):
@@ -96,12 +103,19 @@ class BipartiteIsingSubstrate:
         pinned by ``tests/property/test_precision_tiers.py`` (see the
         precision policy in ``docs/performance.md``); it requires the fast
         path, since the legacy reference path is float64 by definition.
+    spec:
+        Typed configuration (:class:`~repro.config.SubstrateSpec`)
+        superseding the per-knob keyword arguments above (``rng`` stays a
+        runtime argument).  The kwarg-style signature keeps working — it
+        builds the identical spec internally, emitting one
+        ``DeprecationWarning`` per process — and both forms run the same
+        code path, so seeded results are bit-identical.  See ``docs/api.md``.
     """
 
     def __init__(
         self,
-        n_visible: int,
-        n_hidden: int,
+        n_visible: Optional[int] = None,
+        n_hidden: Optional[int] = None,
         *,
         noise_config: Optional[NoiseConfig] = None,
         sigmoid_gain: float = 1.0,
@@ -110,24 +124,55 @@ class BipartiteIsingSubstrate:
         rng: SeedLike = None,
         fast_path: bool = True,
         dtype: "str | np.dtype" = "float64",
+        spec: Optional[SubstrateSpec] = None,
     ):
-        if n_visible <= 0 or n_hidden <= 0:
-            raise ValidationError(
-                f"substrate dimensions must be positive, got ({n_visible}, {n_hidden})"
+        if spec is not None:
+            if n_visible is not None or n_hidden is not None:
+                raise ValidationError(
+                    "pass either spec= or (n_visible, n_hidden) dimensions, not both"
+                )
+            reject_kwargs_with_spec(
+                "BipartiteIsingSubstrate",
+                noise_config=(noise_config, None),
+                sigmoid_gain=(sigmoid_gain, 1.0),
+                input_bits=(input_bits, 8),
+                comparator_offset_rms=(comparator_offset_rms, 0.0),
+                fast_path=(fast_path, True),
+                dtype=(dtype, "float64"),
             )
-        self.n_visible = int(n_visible)
-        self.n_hidden = int(n_hidden)
-        self.dtype = np.dtype(dtype)
-        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
-            raise ValidationError(
-                f"dtype must be float32 or float64, got {self.dtype}"
+        else:
+            if n_visible is None or n_hidden is None:
+                raise ValidationError(
+                    "substrate dimensions (n_visible, n_hidden) are required "
+                    "when no spec is given"
+                )
+            # Kwarg-style shim: the legacy signature builds the same spec the
+            # typed API would, then both run one code path — bit-identical
+            # under fixed seeds by construction.
+            spec = SubstrateSpec(
+                n_visible=n_visible,
+                n_hidden=n_hidden,
+                sigmoid_gain=sigmoid_gain,
+                input_bits=input_bits,
+                comparator_offset_rms=comparator_offset_rms,
+                noise=NoiseSpec.from_noise_config(noise_config),
+                compute=ComputeSpec(dtype=dtype, fast_path=fast_path),
             )
-        if self.dtype == np.float32 and not fast_path:
-            raise ValidationError(
-                "the float32 precision tier requires fast_path=True (the legacy "
-                "reference path is float64 by definition)"
+            warn_kwargs_deprecated(
+                "BipartiteIsingSubstrate",
+                "repro.config.SubstrateSpec (+ repro.api.build_substrate)",
             )
-        self.noise_config = noise_config if noise_config is not None else NoiseConfig()
+        self.spec = spec
+        self.n_visible = spec.n_visible
+        self.n_hidden = spec.n_hidden
+        self.dtype = np.dtype(spec.compute.dtype)
+        sigmoid_gain = spec.sigmoid_gain
+        input_bits = spec.input_bits
+        comparator_offset_rms = spec.comparator_offset_rms
+        fast_path = spec.compute.fast_path
+        self.noise_config = (
+            noise_config if noise_config is not None else spec.noise.to_noise_config()
+        )
 
         # Stream 6 is the shard-substream root for the multicore settle
         # kernel; spawning 7 children leaves streams 0-5 bit-identical to

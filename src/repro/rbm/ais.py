@@ -15,7 +15,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.config.specs import ComputeSpec, EstimatorSpec
 from repro.rbm.rbm import BernoulliRBM
+from repro.utils.deprecation import warn_kwargs_deprecated
 from repro.utils.numerics import (
     bernoulli_sample,
     fused_sigmoid_bernoulli,
@@ -31,7 +33,11 @@ from repro.utils.parallel import (
     shard_slices,
 )
 from repro.utils.rng import SeedLike, as_rng
-from repro.utils.validation import ValidationError, check_array
+from repro.utils.validation import (
+    ValidationError,
+    check_array,
+    reject_kwargs_with_spec,
+)
 
 #: Sentinel spawn-key branch for the threaded chain pool's seed root.
 #: Ordinary ``SeedSequence.spawn`` children are keyed by small sequential
@@ -146,29 +152,43 @@ class AISEstimator:
         fast_path: bool = True,
         dtype: "str" = "float64",
         workers: "int | str | None" = None,
+        spec: Optional[EstimatorSpec] = None,
     ):
-        if n_chains < 1:
-            raise ValidationError(f"n_chains must be >= 1, got {n_chains}")
-        if n_betas < 2:
-            raise ValidationError(f"n_betas must be >= 2, got {n_betas}")
-        self.n_chains = int(n_chains)
-        self.n_betas = int(n_betas)
+        if spec is not None:
+            reject_kwargs_with_spec(
+                "AISEstimator",
+                n_chains=(n_chains, 64),
+                n_betas=(n_betas, 200),
+                fast_path=(fast_path, True),
+                dtype=(dtype, "float64"),
+                workers=(workers, None),
+            )
+        else:
+            # Kwarg-style shim (see docs/api.md): build the typed spec the
+            # facade would, then one shared code path below.  ComputeSpec
+            # validates workers without expanding it, so None stays
+            # deferred to the REPRO_WORKERS default per estimate call.
+            spec = EstimatorSpec(
+                chains=n_chains,
+                betas=n_betas,
+                compute=ComputeSpec(dtype=dtype, workers=workers, fast_path=fast_path),
+            )
+            warn_kwargs_deprecated(
+                "AISEstimator",
+                "repro.config.EstimatorSpec (+ repro.api.build_estimator)",
+            )
+        self.spec = spec
+        self.n_chains = spec.chains
+        self.n_betas = spec.betas
         self.base_visible_bias = (
             None if base_visible_bias is None else np.asarray(base_visible_bias, dtype=float)
         )
         self._rng = as_rng(rng)
-        self.fast_path = bool(fast_path)
-        self.dtype = np.dtype(dtype)
-        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
-            raise ValidationError(f"dtype must be float32 or float64, got {self.dtype}")
-        if self.dtype == np.float32 and not self.fast_path:
-            raise ValidationError(
-                "the float32 AIS tier requires fast_path=True (the legacy loop "
-                "is the float64 reference)"
-            )
-        if workers is not None:
-            resolve_workers(workers)  # fail fast; None defers to the env
-        self.workers = workers
+        # The float32-requires-fast_path constraint is enforced by
+        # ComputeSpec itself, on both construction paths.
+        self.fast_path = spec.compute.fast_path
+        self.dtype = np.dtype(spec.compute.dtype)
+        self.workers = spec.compute.workers
         # Seed root for the threaded chain pool's per-shard substreams;
         # shard generators are cached per worker count so their streams
         # stay stateful across estimates (reproducible run to run).  The
@@ -369,13 +389,13 @@ def estimate_log_partition(
     """
     base_bias = None if data is None else AISEstimator.base_bias_from_data(data)
     estimator = AISEstimator(
-        n_chains=n_chains,
-        n_betas=n_betas,
+        spec=EstimatorSpec(
+            chains=n_chains,
+            betas=n_betas,
+            compute=ComputeSpec(dtype=dtype, workers=workers, fast_path=fast_path),
+        ),
         base_visible_bias=base_bias,
         rng=rng,
-        fast_path=fast_path,
-        dtype=dtype,
-        workers=workers,
     )
     return estimator.estimate_log_partition(rbm).log_partition
 

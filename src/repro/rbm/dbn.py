@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.eval.logistic import LogisticRegressionClassifier
+from repro.config.specs import TrainerSpec
 from repro.rbm.rbm import BernoulliRBM, CDTrainer, TrainingHistory
 from repro.utils.rng import SeedLike, as_rng, spawn_rngs
 from repro.utils.validation import ValidationError, check_array
@@ -95,9 +96,9 @@ class DeepBeliefNetwork:
 
         def default_trainer(rbm: BernoulliRBM, layer_data: np.ndarray) -> TrainingHistory:
             trainer = CDTrainer(
-                learning_rate=learning_rate,
-                cd_k=cd_k,
-                batch_size=batch_size,
+                spec=TrainerSpec.cd(
+                    learning_rate, cd_k=cd_k, batch_size=batch_size
+                ),
                 rng=gen,
             )
             return trainer.train(rbm, layer_data, epochs=epochs)

@@ -15,10 +15,17 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.config.specs import ComputeSpec, TrainerSpec
 from repro.utils.batching import minibatches
+from repro.utils.deprecation import warn_kwargs_deprecated
 from repro.utils.numerics import bernoulli_sample, log1pexp, sigmoid
 from repro.utils.rng import SeedLike, as_rng
-from repro.utils.validation import ValidationError, check_array, check_in_range, check_positive
+from repro.utils.validation import (
+    ValidationError,
+    check_array,
+    check_positive,
+    reject_kwargs_with_spec,
+)
 
 
 class BernoulliRBM:
@@ -247,19 +254,48 @@ class CDTrainer:
         rng: SeedLike = None,
         callback: Optional[Callable[[int, BernoulliRBM], None]] = None,
         fast_path: bool = True,
+        spec: Optional[TrainerSpec] = None,
     ):
-        self.learning_rate = check_positive(learning_rate, name="learning_rate")
-        if cd_k < 1:
-            raise ValidationError(f"cd_k must be >= 1, got {cd_k}")
-        self.cd_k = int(cd_k)
-        if batch_size < 1:
-            raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
-        self.batch_size = int(batch_size)
-        self.weight_decay = check_positive(weight_decay, name="weight_decay", strict=False)
-        self.momentum = check_in_range(momentum, 0.0, 1.0, name="momentum", inclusive=(True, False))
+        if spec is not None:
+            if spec.kind != "cd":
+                raise ValidationError(
+                    f"CDTrainer needs a TrainerSpec with kind='cd', "
+                    f"got kind={spec.kind!r}"
+                )
+            reject_kwargs_with_spec(
+                "CDTrainer",
+                learning_rate=(learning_rate, 0.1),
+                cd_k=(cd_k, 1),
+                batch_size=(batch_size, 10),
+                weight_decay=(weight_decay, 0.0),
+                momentum=(momentum, 0.0),
+                fast_path=(fast_path, True),
+            )
+        else:
+            # Kwarg-style shim (see docs/api.md): the same spec the typed
+            # API would build, then one shared code path below.
+            spec = TrainerSpec(
+                kind="cd",
+                learning_rate=learning_rate,
+                cd_k=cd_k,
+                batch_size=batch_size,
+                weight_decay=weight_decay,
+                momentum=momentum,
+                compute=ComputeSpec(fast_path=fast_path),
+            )
+            warn_kwargs_deprecated(
+                "CDTrainer",
+                "repro.config.TrainerSpec(kind='cd') (+ repro.api.build_trainer)",
+            )
+        self.spec = spec
+        self.learning_rate = spec.learning_rate
+        self.cd_k = spec.cd_k
+        self.batch_size = spec.batch_size
+        self.weight_decay = spec.weight_decay
+        self.momentum = spec.momentum  # range-validated by TrainerSpec
         self._rng = as_rng(rng)
         self.callback = callback
-        self.fast_path = bool(fast_path)
+        self.fast_path = spec.compute.fast_path
 
     def _gradient(self, rbm: BernoulliRBM, v_pos: np.ndarray):
         """Compute the CD-k gradient estimate for one minibatch.

@@ -20,6 +20,7 @@ from repro.utils.numerics import (
     clip_norm,
 )
 from repro.utils.batching import minibatches, shuffle_arrays, train_test_split
+from repro.utils.deprecation import reset_warnings, warn_kwargs_deprecated
 from repro.utils.parallel import (
     ShardedExecutor,
     default_workers,
@@ -52,6 +53,8 @@ __all__ = [
     "minibatches",
     "shuffle_arrays",
     "train_test_split",
+    "warn_kwargs_deprecated",
+    "reset_warnings",
     "ShardedExecutor",
     "default_workers",
     "resolve_workers",

@@ -1,0 +1,51 @@
+"""Warn-once deprecation helper for the kwarg-style entry-point shims.
+
+The spec layer (:mod:`repro.config` / :mod:`repro.api`) supersedes the
+kwarg-style constructors on the substrates, trainers and estimator.  The
+old signatures keep working — each builds its spec internally and runs the
+exact same code path, so seeded results are bit-identical — but the first
+kwarg-style call per entry point emits one :class:`DeprecationWarning`
+pointing at the spec equivalent.  One warning per process per entry point:
+a training loop constructing thousands of machines should not drown the
+log, and the suites that pin the deprecation contract reset the registry
+explicitly via :func:`reset_warnings`.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from typing import Set
+
+__all__ = ["warn_kwargs_deprecated", "reset_warnings"]
+
+_seen: Set[str] = set()
+_lock = threading.Lock()
+
+
+def warn_kwargs_deprecated(entry_point: str, spec_equivalent: str) -> None:
+    """Emit one ``DeprecationWarning`` for a kwarg-style ``entry_point``.
+
+    ``spec_equivalent`` names the typed replacement (e.g.
+    ``"repro.config.SubstrateSpec + repro.api.build_substrate"``).  Only the
+    first call per ``entry_point`` per process warns; subsequent calls are
+    free.  ``stacklevel=3`` points the warning at the caller of the shimmed
+    constructor, not at this helper or the constructor itself.
+    """
+    with _lock:
+        if entry_point in _seen:
+            return
+        _seen.add(entry_point)
+    warnings.warn(
+        f"kwarg-style {entry_point}(...) is deprecated; build a "
+        f"{spec_equivalent} instead (the kwarg path constructs the same "
+        "spec internally and stays bit-identical under fixed seeds)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_warnings() -> None:
+    """Forget which entry points have warned (test isolation hook)."""
+    with _lock:
+        _seen.clear()

@@ -11,6 +11,28 @@ class ValidationError(ValueError):
     """Raised when an argument fails library-level validation."""
 
 
+def reject_kwargs_with_spec(entry_point: str, **kwargs) -> None:
+    """Reject configuration kwargs passed alongside ``spec=``.
+
+    Each keyword maps a parameter name to a ``(value, default)`` pair; any
+    value that differs from its default means the caller configured the
+    same knob twice — once in the spec and once as a keyword — and the
+    conflict raises instead of one side silently winning.  Runtime
+    arguments (rng, callback, machine, config) are never passed here.
+    """
+    for name, (value, default) in kwargs.items():
+        conflicting = (
+            value is not default
+            if default is None or isinstance(default, bool)
+            else value != default
+        )
+        if conflicting:
+            raise ValidationError(
+                f"{entry_point}: {name}= conflicts with spec=; configure "
+                f"{name} through the spec (got {name}={value!r})"
+            )
+
+
 def check_array(
     x,
     *,

@@ -1,0 +1,114 @@
+"""CLI tests: ``python -m repro run`` parsing, listing, and execution."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api.cli import main, parse_set_argument, parse_set_value
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSetValueParsing:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("4", 4),
+            ("0.5", 0.5),
+            ("true", True),
+            ("False", False),
+            ("none", None),
+            ("auto", "auto"),
+            ("float32", "float32"),
+            ("mnist,kmnist", ("mnist", "kmnist")),
+            ("400,800", (400, 800)),
+            ("mnist,", ("mnist",)),  # trailing comma: one-element list
+        ],
+    )
+    def test_values(self, raw, expected):
+        assert parse_set_value(raw) == expected
+
+    def test_key_value_split(self):
+        assert parse_set_argument("workers=4") == ("workers", 4)
+        assert parse_set_argument("dtype=float32") == ("dtype", "float32")
+
+    def test_missing_equals_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="key=value"):
+            parse_set_argument("workers4")
+
+
+class TestMain:
+    def test_run_list_exits_zero_and_names_all_artifacts(self, capsys):
+        assert main(["run", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure5", "table2", "figure11"):
+            assert name in out
+        assert "paper" in out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        assert "figure7" in capsys.readouterr().out
+
+    def test_run_multiple_cheap_experiments(self, capsys):
+        assert main(["run", "table2", "figure5"]) == 0
+        out = capsys.readouterr().out
+        assert "=== table2" in out
+        assert "=== figure5" in out
+        assert "TIMELY" not in out  # table3 was not requested
+
+    def test_set_overrides_reach_the_runner(self, capsys):
+        assert main(["run", "table2", "--set", "node_counts=400,800"]) == 0
+        out = capsys.readouterr().out
+        assert "(400, 800)" in out
+        assert "preset custom" in out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_preset_fails_cleanly(self, capsys):
+        assert main(["run", "table2", "--preset", "paper"]) == 2
+        assert "available presets" in capsys.readouterr().err
+
+    def test_unknown_set_knob_fails_before_running(self, capsys):
+        assert main(["run", "table2", "--set", "bogus=1"]) == 2
+        assert "does not accept" in capsys.readouterr().err
+
+    def test_bad_compute_value_fails_cleanly(self, capsys):
+        assert main(["run", "figure7", "--set", "workers=0"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_validation_happens_for_all_names_before_any_run(self, capsys):
+        # figure99 is invalid: table2 must not run first.
+        assert main(["run", "table2", "figure99"]) == 2
+        captured = capsys.readouterr()
+        assert "=== table2" not in captured.out
+
+    def test_run_without_names_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_seed_override_flips_preset_label_to_custom(self, capsys):
+        assert main(["run", "table3", "--seed", "9"]) == 2  # table3 is seedless
+        assert "seed" in capsys.readouterr().err
+        assert main(["run", "figure5"]) == 0
+        assert "preset ci" in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        """Acceptance: ``python -m repro run <name>`` works end to end."""
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "table3", "--set", "n_nodes=800"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "TIMELY" in result.stdout

@@ -1,0 +1,116 @@
+"""Deprecation-shim tests: one warning per kwarg-style entry point, and the
+kwarg path stays bit-identical to the spec path under fixed seeds."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.config import SubstrateSpec, TrainerSpec
+from repro.core import BGFTrainer, GibbsSamplerTrainer
+from repro.ising import BipartiteIsingSubstrate
+from repro.rbm import AISEstimator, BernoulliRBM, CDTrainer
+from repro.utils.deprecation import reset_warnings
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_registry():
+    """Each test starts with no entry point having warned yet."""
+    reset_warnings()
+    yield
+    reset_warnings()
+
+
+ENTRY_POINTS = {
+    "BipartiteIsingSubstrate": lambda: BipartiteIsingSubstrate(6, 4, rng=0),
+    "CDTrainer": lambda: CDTrainer(0.1, cd_k=1, batch_size=10, rng=0),
+    "GibbsSamplerTrainer": lambda: GibbsSamplerTrainer(0.1, rng=0),
+    "BGFTrainer": lambda: BGFTrainer(0.1, rng=0),
+    "AISEstimator": lambda: AISEstimator(n_chains=4, n_betas=10, rng=0),
+}
+
+
+class TestSingleDeprecationWarning:
+    @pytest.mark.parametrize("name", sorted(ENTRY_POINTS))
+    def test_kwarg_style_warns_exactly_once(self, name):
+        construct = ENTRY_POINTS[name]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            construct()
+            construct()
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert name in message
+        assert "repro.config" in message  # points at the spec equivalent
+
+    def test_spec_path_never_warns(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            BipartiteIsingSubstrate(spec=SubstrateSpec(n_visible=6, n_hidden=4), rng=0)
+            GibbsSamplerTrainer(spec=TrainerSpec.gs(0.1), rng=0)
+            BGFTrainer(spec=TrainerSpec.bgf(0.1), rng=0)
+            CDTrainer(spec=TrainerSpec.cd(0.1), rng=0)
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_runner_main_points_at_the_new_cli(self, capsys):
+        from repro.experiments import runner
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            runner.main(["--only", "table3"])
+        messages = [
+            str(w.message)
+            for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert any("python -m repro run" in m for m in messages)
+
+
+class TestKwargPathBitIdentity:
+    """The satellite's second half: the deprecated entry points produce the
+    exact draws/updates of their spec-built twins under a fixed seed."""
+
+    @pytest.fixture(autouse=True)
+    def _serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+    def test_trainers_bit_identical(self):
+        rng = np.random.default_rng(0)
+        data = (rng.random((40, 16)) < 0.4).astype(float)
+        pairs = [
+            (
+                lambda: CDTrainer(0.2, cd_k=2, batch_size=8, rng=1),
+                lambda: CDTrainer(spec=TrainerSpec.cd(0.2, cd_k=2, batch_size=8), rng=1),
+            ),
+            (
+                lambda: GibbsSamplerTrainer(
+                    0.2, cd_k=1, batch_size=8, chains=3, persistent=True, rng=1
+                ),
+                lambda: GibbsSamplerTrainer(
+                    spec=TrainerSpec.gs(
+                        0.2, cd_k=1, batch_size=8, chains=3, persistent=True
+                    ),
+                    rng=1,
+                ),
+            ),
+            (
+                lambda: BGFTrainer(0.2, reference_batch_size=8, rng=1),
+                lambda: BGFTrainer(
+                    spec=TrainerSpec.bgf(0.2, reference_batch_size=8), rng=1
+                ),
+            ),
+        ]
+        for kwarg_factory, spec_factory in pairs:
+            a, b = BernoulliRBM(16, 6, rng=0), BernoulliRBM(16, 6, rng=0)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                kwarg_factory().train(a, data, epochs=2)
+            spec_factory().train(b, data, epochs=2)
+            np.testing.assert_array_equal(a.weights, b.weights)
+            np.testing.assert_array_equal(a.visible_bias, b.visible_bias)
+            np.testing.assert_array_equal(a.hidden_bias, b.hidden_bias)

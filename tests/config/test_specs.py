@@ -1,0 +1,232 @@
+"""Spec-layer tests: construction validation, resolve(), dict round trips."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ComputeSpec,
+    EstimatorSpec,
+    NoiseSpec,
+    RunSpec,
+    SamplerSpec,
+    SubstrateSpec,
+    TrainerSpec,
+    ValidationError,
+)
+from repro.analog.noise import NoiseConfig
+
+
+class TestComputeSpec:
+    def test_defaults(self):
+        spec = ComputeSpec()
+        assert spec.dtype == "float64"
+        assert spec.workers is None
+        assert spec.fast_path is True
+
+    def test_dtype_normalized_to_canonical_string(self):
+        assert ComputeSpec(dtype=np.float32).dtype == "float32"
+        assert ComputeSpec(dtype=np.dtype("float64")).dtype == "float64"
+
+    @pytest.mark.parametrize("dtype", ["int8", "float16", "complex128", object])
+    def test_bad_dtype_rejected(self, dtype):
+        with pytest.raises(ValidationError, match="dtype must be float32 or float64"):
+            ComputeSpec(dtype=dtype)
+
+    def test_float32_requires_fast_path(self):
+        with pytest.raises(ValidationError, match="fast_path"):
+            ComputeSpec(dtype="float32", fast_path=False)
+
+    @pytest.mark.parametrize("workers", [0, -1, 2.5, "two", True, [2]])
+    def test_bad_workers_rejected_at_construction(self, workers):
+        with pytest.raises(ValidationError):
+            ComputeSpec(workers=workers)
+
+    def test_auto_workers_kept_deferred_until_resolve(self):
+        spec = ComputeSpec(workers="auto")
+        assert spec.workers == "auto"
+        assert spec.resolve().workers >= 1
+
+    def test_resolve_reads_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert ComputeSpec().resolve().workers == 3
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert ComputeSpec().resolve().workers == 1
+
+    @pytest.mark.parametrize("raw", ["garbage", "2.5", "-1", "zero"])
+    def test_resolve_rejects_garbage_env_naming_the_variable(
+        self, monkeypatch, raw
+    ):
+        """Satellite: REPRO_WORKERS junk raises a clear ValidationError from
+        ComputeSpec.resolve(), never a bare int() traceback."""
+        monkeypatch.setenv("REPRO_WORKERS", raw)
+        with pytest.raises(ValidationError, match="REPRO_WORKERS"):
+            ComputeSpec().resolve()
+
+    def test_explicit_workers_resolve_is_identity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert ComputeSpec(workers=2).resolve().workers == 2
+
+
+class TestSamplerAndNoiseSpecs:
+    @pytest.mark.parametrize("chains", [0, -3, 1.5, True])
+    def test_bad_chains_rejected(self, chains):
+        with pytest.raises(ValidationError):
+            SamplerSpec(chains=chains)
+
+    def test_negative_burn_in_rejected(self):
+        with pytest.raises(ValidationError, match="burn_in"):
+            SamplerSpec(burn_in=-1)
+
+    def test_noise_spec_round_trips_noise_config(self):
+        config = NoiseConfig(0.1, 0.2)
+        spec = NoiseSpec.from_noise_config(config)
+        assert spec.to_noise_config() == config
+        assert NoiseSpec.from_noise_config(None).is_ideal
+
+    def test_negative_rms_rejected(self):
+        with pytest.raises(ValidationError):
+            NoiseSpec(variation_rms=-0.1)
+
+
+class TestSubstrateSpec:
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValidationError, match="dimensions must be positive"):
+            SubstrateSpec(n_visible=0, n_hidden=4)
+
+    def test_bad_input_bits_rejected(self):
+        with pytest.raises(ValidationError, match="input_bits"):
+            SubstrateSpec(n_visible=4, n_hidden=2, input_bits=0)
+
+    def test_none_input_bits_allowed(self):
+        assert SubstrateSpec(n_visible=4, n_hidden=2, input_bits=None).input_bits is None
+
+
+class TestTrainerSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="unknown trainer kind"):
+            TrainerSpec(kind="sgd")
+
+    def test_momentum_only_for_cd(self):
+        TrainerSpec.cd(momentum=0.5)  # fine
+        with pytest.raises(ValidationError, match="momentum"):
+            TrainerSpec(kind="gs", momentum=0.5)
+
+    def test_cd_is_float64_only(self):
+        with pytest.raises(ValidationError, match="float64"):
+            TrainerSpec(kind="cd", compute=ComputeSpec(dtype="float32"))
+
+    def test_cd_rejects_hardware_sampler_and_noise_knobs(self):
+        with pytest.raises(ValidationError, match="kind='gs'"):
+            TrainerSpec(kind="cd", sampler=SamplerSpec(chains=64, persistent=True))
+        with pytest.raises(ValidationError, match="noise"):
+            TrainerSpec(kind="cd", noise=NoiseSpec(0.1, 0.1))
+
+    def test_reference_batch_size_is_bgf_only(self):
+        with pytest.raises(ValidationError, match="reference_batch_size"):
+            TrainerSpec(kind="gs", reference_batch_size=10)
+
+    def test_momentum_bounded_below_one(self):
+        with pytest.raises(ValidationError, match="momentum"):
+            TrainerSpec.cd(momentum=1.5)
+
+    def test_burn_in_only_for_bgf(self):
+        TrainerSpec.bgf(burn_in=3)  # fine
+        with pytest.raises(ValidationError, match="burn_in"):
+            TrainerSpec(kind="gs", sampler=SamplerSpec(burn_in=3))
+
+    def test_step_size_only_for_bgf(self):
+        with pytest.raises(ValidationError, match="step_size"):
+            TrainerSpec(kind="cd", step_size=0.01)
+
+    def test_bgf_classmethod_mirrors_engine_defaults(self):
+        spec = TrainerSpec.bgf()
+        assert spec.cd_k == 2  # anneal_steps
+        assert spec.sampler.chains == 8  # n_particles
+
+    def test_gs_classmethod_routes_sampler_knobs(self):
+        spec = TrainerSpec.gs(0.2, chains=16, persistent=True)
+        assert spec.sampler == SamplerSpec(chains=16, persistent=True)
+
+
+class TestEstimatorSpec:
+    def test_bounds(self):
+        with pytest.raises(ValidationError, match="n_chains"):
+            EstimatorSpec(chains=0)
+        with pytest.raises(ValidationError, match="n_betas"):
+            EstimatorSpec(betas=1)
+
+
+class TestRunSpec:
+    def test_reserved_knobs_must_not_hide_in_params(self):
+        for key in ("seed", "dtype", "workers", "fast_path"):
+            with pytest.raises(ValidationError, match=key):
+                RunSpec(experiment="figure7", params={key: 1})
+
+    def test_params_lists_normalize_to_tuples(self):
+        spec = RunSpec(experiment="figure7", params={"datasets": ["mnist", "kmnist"]})
+        assert spec.params["datasets"] == ("mnist", "kmnist")
+
+    def test_with_overrides_routes_compute_and_seed(self):
+        spec = RunSpec(experiment="figure7").with_overrides(
+            workers=4, dtype="float32", seed=7, epochs=3
+        )
+        assert spec.preset == "custom"
+        assert spec.seed == 7
+        assert spec.compute == ComputeSpec(dtype="float32", workers=4)
+        assert spec.params == {"epochs": 3}
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValidationError, match="seed"):
+            RunSpec(experiment="figure7", seed="paper")
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        ComputeSpec(dtype="float32", workers="auto"),
+        SamplerSpec(chains=8, persistent=True, burn_in=2),
+        NoiseSpec(0.1, 0.2),
+        SubstrateSpec(
+            n_visible=49,
+            n_hidden=32,
+            input_bits=None,
+            noise=NoiseSpec(0.05, 0.05),
+            compute=ComputeSpec(dtype="float32"),
+        ),
+        TrainerSpec.gs(0.2, chains=4, persistent=True, compute=ComputeSpec(workers=2)),
+        TrainerSpec.bgf(0.1, step_size=0.005, burn_in=1, noise=NoiseSpec(0.1, 0.1)),
+        EstimatorSpec(chains=32, betas=100, compute=ComputeSpec(dtype="float32")),
+        RunSpec(
+            experiment="figure7",
+            preset="paper",
+            seed=3,
+            compute=ComputeSpec(dtype="float32", workers="auto"),
+            params={"datasets": ("mnist", "kmnist"), "epochs": 5},
+        ),
+    ],
+    ids=lambda s: type(s).__name__,
+)
+class TestRoundTrip:
+    def test_from_dict_of_to_dict_is_identity(self, spec):
+        assert type(spec).from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_json_compatible(self, spec):
+        import json
+
+        json.dumps(spec.to_dict())  # must not raise
+
+
+class TestFromDictValidation:
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValidationError, match="unknown ComputeSpec keys"):
+            ComputeSpec.from_dict({"dtype": "float64", "threads": 4})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ValidationError, match="mapping"):
+            RunSpec.from_dict("figure7")
+
+    def test_nested_specs_rebuilt(self):
+        data = TrainerSpec.bgf(0.1).to_dict()
+        rebuilt = TrainerSpec.from_dict(data)
+        assert isinstance(rebuilt.sampler, SamplerSpec)
+        assert isinstance(rebuilt.compute, ComputeSpec)

@@ -13,12 +13,17 @@ import math
 import numpy as np
 import pytest
 
+from repro.api import run_experiment
+from repro.config import RunSpec
 from repro.experiments.fig7_logprob import (
     PAPER_FIGURE7_CONFIG,
     run_figure7,
     run_figure7_paper,
 )
 from repro.experiments.table4_accuracy import PAPER_TABLE4_CONFIG, run_table4
+
+RUN_SPEC_KEYS = {"experiment", "preset", "seed", "compute", "params"}
+COMPUTE_KEYS = {"dtype", "workers", "fast_path"}
 
 FIG7_ROW_KEYS = {"dataset", "method", "epoch", "avg_log_probability"}
 FIG7_METADATA_KEYS = {
@@ -137,3 +142,51 @@ class TestTable4Schema:
             "image_benchmarks", "include_dbn", "include_recommender",
             "include_anomaly",
         }
+
+
+class TestRunSpecMetadataSchema:
+    """Satellite: results produced through repro.api carry the resolved
+    RunSpec under metadata["run_spec"], with a frozen key contract."""
+
+    @pytest.fixture(scope="class")
+    def spec_result(self, request):
+        monkeypatch = pytest.MonkeyPatch()
+        request.addfinalizer(monkeypatch.undo)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        spec = RunSpec(experiment="figure7").with_overrides(
+            datasets=("mnist",), epochs=2, ais_chains=6, ais_betas=12,
+            train_samples=48, methods=("cd1",), seed=1,
+        )
+        return spec, run_experiment(spec)
+
+    def test_run_spec_key_contract(self, spec_result):
+        _, result = spec_result
+        recorded = result.metadata["run_spec"]
+        assert set(recorded) == RUN_SPEC_KEYS
+        assert recorded["experiment"] == "figure7"
+        assert recorded["preset"] == "custom"
+        assert recorded["seed"] == 1
+
+    def test_recorded_spec_round_trips(self, spec_result):
+        spec, result = spec_result
+        rebuilt = RunSpec.from_dict(result.metadata["run_spec"])
+        # figure7 threads compute knobs, so the recorded spec fills in the
+        # resolved environment defaults (REPRO_WORKERS cleared -> workers=1)
+        # even though the input spec left compute unset; resolving is
+        # idempotent, so a second resolve must be the identity.
+        from repro.config import ComputeSpec
+
+        assert rebuilt == spec.resolve().replace(compute=ComputeSpec().resolve())
+        assert rebuilt.resolve() == rebuilt
+
+    def test_driver_metadata_still_present_alongside_run_spec(self, spec_result):
+        _, result = spec_result
+        assert set(result.metadata) == FIG7_METADATA_KEYS | {"run_spec"}
+
+    def test_resolved_compute_schema(self):
+        result = run_experiment(
+            RunSpec(experiment="table2").with_overrides(node_counts=(400,))
+        )
+        recorded = result.metadata["run_spec"]
+        assert recorded["compute"] is None or set(recorded["compute"]) == COMPUTE_KEYS
+        assert recorded["params"] == {"node_counts": [400]}

@@ -4,6 +4,7 @@ import io
 
 import pytest
 
+from repro.api import get_experiment
 from repro.experiments import runner
 
 
@@ -31,3 +32,32 @@ class TestRunner:
         exit_code = runner.main(["--only", "table3"])
         assert exit_code == 0
         assert "TIMELY" in capsys.readouterr().out
+
+
+class TestPaperScaleRouting:
+    """Satellite fix: --scale paper routes figure7/table4 through the tuned
+    run_*_paper presets instead of bare scale="paper" on the base runner."""
+
+    @pytest.mark.parametrize("name", ["figure7", "table4"])
+    def test_paper_scale_selects_the_paper_preset(self, name):
+        spec = runner._select_spec(name, "paper", seed=5)
+        assert spec == get_experiment(name).presets["paper"].replace(seed=5)
+        # The tuned knobs (not just scale) made it through.
+        assert spec.params["scale"] == "paper"
+        assert spec.params["gs_chains"] in (64, 8)
+        assert spec.compute is not None and spec.compute.dtype == "float32"
+
+    def test_paper_scale_passthrough_for_noise_experiments(self):
+        spec = runner._select_spec("figure8", "paper", seed=0)
+        assert spec.params["scale"] == "paper"
+
+    def test_ci_scale_keeps_the_ci_preset(self):
+        spec = runner._select_spec("figure7", "ci", seed=3)
+        assert spec.preset == "ci"
+        assert spec.params == {}
+        assert spec.seed == 3
+
+    def test_analytic_experiments_ignore_scale_and_seed(self):
+        spec = runner._select_spec("table2", "paper", seed=0)
+        assert spec.params == {}
+        assert spec.seed == 0

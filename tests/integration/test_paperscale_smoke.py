@@ -9,11 +9,10 @@ Excluded from the default pytest selection by the ``paperscale`` marker
 (registered in pyproject.toml).
 """
 
-import os
-
 import numpy as np
 import pytest
 
+from repro.config import ComputeSpec
 from repro.core import GibbsSamplerTrainer
 from repro.experiments.fig7_logprob import run_figure7_paper, trajectories
 from repro.experiments.table4_accuracy import run_table4_paper
@@ -24,11 +23,11 @@ pytestmark = pytest.mark.paperscale
 
 # The nightly CI matrix's workers column (see .github/workflows/ci.yml):
 # the presets are smoked serially and through the sharded settle / threaded
-# AIS layer.  Resolved once so every smoke in the file runs the same leg.
-_raw_workers = os.environ.get("REPRO_WORKERS", "").strip()
-SMOKE_WORKERS = (
-    "auto" if _raw_workers == "auto" else int(_raw_workers) if _raw_workers else 1
-)
+# AIS layer.  Resolved once — through the spec layer's hardened env parse,
+# so a typo'd REPRO_WORKERS raises a ValidationError naming the variable
+# instead of an int() traceback — and every smoke in the file runs the
+# same leg.
+SMOKE_WORKERS = ComputeSpec().resolve().workers
 
 
 class TestPaperScaleKernels:

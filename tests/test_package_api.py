@@ -25,6 +25,8 @@ SUBPACKAGES = [
     "repro.hardware",
     "repro.eval",
     "repro.experiments",
+    "repro.config",
+    "repro.api",
 ]
 
 
