@@ -1,10 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-workers run-ci bench bench-compare bench-compare-ci artifacts
+.PHONY: test test-workers test-sparse run-ci bench bench-compare bench-compare-ci artifacts
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Sparse/streaming leg of the tier-1 workflow: the CSR kernel
+## equivalence, streaming partial_fit bit-identity, one-hot encoder, and
+## streamed-preset suites (everything marked `sparse`).  These tests are
+## part of the default run too; the focused leg keeps the PR's contract
+## visible and seconds-fast.  `-m sparse` overrides the pyproject addopts.
+test-sparse:
+	$(PYTHON) -m pytest -m sparse -q
 
 ## CLI smoke leg of the tier-1 workflow: the registry listing plus two
 ## cheap (analytic) artifacts through `python -m repro run`, exercising

@@ -279,7 +279,21 @@ def _register_paper_experiments() -> None:
         presets={
             "paper": runspec_from_legacy_config(
                 "figure9", {"scale": "paper"}
-            )
+            ),
+            # Sparse one-hot MovieLens fed through the GS trainer's chunked
+            # partial_fit pipeline — the streamed real-data variant.
+            "streamed": runspec_from_legacy_config(
+                "figure9",
+                {
+                    "engine": "gs",
+                    "encoding": "onehot",
+                    "sparse": True,
+                    "streaming": True,
+                    "chunk_size": 64,
+                    "epochs": 10,
+                },
+                preset="streamed",
+            ),
         },
     )
     register_experiment(
@@ -288,7 +302,22 @@ def _register_paper_experiments() -> None:
         presets={
             "paper": runspec_from_legacy_config(
                 "figure10", {"scale": "paper"}
-            )
+            ),
+            # Sparse one-hot fraud features through the GS trainer's chunked
+            # partial_fit pipeline — the streamed real-data variant.
+            "streamed": runspec_from_legacy_config(
+                "figure10",
+                {
+                    "engine": "gs",
+                    "encoding": "onehot",
+                    "n_bins": 16,
+                    "sparse": True,
+                    "streaming": True,
+                    "chunk_size": 128,
+                    "epochs": 10,
+                },
+                preset="streamed",
+            ),
         },
     )
     register_experiment(

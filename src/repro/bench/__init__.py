@@ -9,6 +9,6 @@ kernel regressions.  Both are exposed as console scripts
 """
 
 from repro.bench.compare import compare_benchmarks
-from repro.bench.kernels import run_benchmarks
+from repro.bench.kernels import annotate_oversubscription, run_benchmarks
 
-__all__ = ["compare_benchmarks", "run_benchmarks"]
+__all__ = ["annotate_oversubscription", "compare_benchmarks", "run_benchmarks"]

@@ -325,6 +325,17 @@ class TrainerSpec(Spec):
     * ``momentum`` — software CD only.
     * ``compute.dtype`` — hardware engines only; the software CD reference
       is float64 by definition.
+    * ``streaming`` / ``stream_chunk_size`` — GS only: drive each epoch
+      through the chunked ``partial_fit`` pipeline (rows visited in storage
+      order; the BGF is whole-loop by algorithm, and the software CD
+      reference stays one-shot).  ``stream_chunk_size`` is the I/O chunk row
+      count (``None`` defaults to ``batch_size``) and requires
+      ``streaming=True``.
+    * ``sparse_visible`` — declare that the data-side kernels will receive
+      scipy-sparse CSR visibles (GS/CD; the BGF's reference statistics are
+      dense by construction).  Informational for dispatch-by-type callers —
+      the kernels accept CSR either way — but validated here so a sparse
+      BGF run fails at construction, not mid-loop.
     """
 
     kind: str = "gs"
@@ -335,6 +346,9 @@ class TrainerSpec(Spec):
     momentum: float = 0.0
     reference_batch_size: int = 50
     step_size: Optional[float] = None
+    streaming: bool = False
+    stream_chunk_size: Optional[int] = None
+    sparse_visible: bool = False
     sampler: SamplerSpec = field(default_factory=SamplerSpec)
     noise: NoiseSpec = field(default_factory=NoiseSpec)
     compute: ComputeSpec = field(default_factory=ComputeSpec)
@@ -408,6 +422,38 @@ class TrainerSpec(Spec):
                     f"step_size is a BGF charge-pump knob; the {self.kind!r} "
                     "trainer derives its updates from learning_rate"
                 )
+        if not isinstance(self.streaming, bool):
+            raise ValidationError(f"streaming must be a bool, got {self.streaming!r}")
+        if not isinstance(self.sparse_visible, bool):
+            raise ValidationError(
+                f"sparse_visible must be a bool, got {self.sparse_visible!r}"
+            )
+        if self.streaming and self.kind != "gs":
+            raise ValidationError(
+                f"streaming training is a GS knob (partial_fit pipeline); the "
+                f"{self.kind!r} trainer runs whole-loop"
+            )
+        if self.stream_chunk_size is not None:
+            if not self.streaming:
+                raise ValidationError(
+                    "stream_chunk_size requires streaming=True"
+                )
+            if (
+                not isinstance(self.stream_chunk_size, (int, np.integer))
+                or isinstance(self.stream_chunk_size, bool)
+                or self.stream_chunk_size < 1
+            ):
+                raise ValidationError(
+                    f"stream_chunk_size must be an int >= 1 or None, got "
+                    f"{self.stream_chunk_size!r}"
+                )
+            object.__setattr__(self, "stream_chunk_size", int(self.stream_chunk_size))
+        if self.sparse_visible and self.kind == "bgf":
+            raise ValidationError(
+                "sparse_visible applies to the data-side kernels of the 'cd' "
+                "and 'gs' trainers; the BGF's reference statistics are dense "
+                "by construction"
+            )
 
     # ------------------------------------------------------------------ #
     # Kind-specific constructors: flat knob names with the engines' own
@@ -447,6 +493,9 @@ class TrainerSpec(Spec):
         persistent: bool = False,
         chain_batch: bool = True,
         weight_decay: float = 0.0,
+        streaming: bool = False,
+        stream_chunk_size: Optional[int] = None,
+        sparse_visible: bool = False,
         noise: Optional[NoiseSpec] = None,
         compute: Optional[ComputeSpec] = None,
     ) -> "TrainerSpec":
@@ -457,6 +506,9 @@ class TrainerSpec(Spec):
             cd_k=cd_k,
             batch_size=batch_size,
             weight_decay=weight_decay,
+            streaming=streaming,
+            stream_chunk_size=stream_chunk_size,
+            sparse_visible=sparse_visible,
             sampler=SamplerSpec(
                 chains=chains, persistent=persistent, chain_batch=chain_batch
             ),

@@ -32,12 +32,19 @@ from repro.config.specs import (
 from repro.core.host import HostStatistics
 from repro.ising.bipartite import BipartiteIsingSubstrate
 from repro.rbm.rbm import BernoulliRBM, TrainingHistory
-from repro.utils.batching import minibatches
+from repro.utils.batching import iter_chunks, minibatches, rebatch
 from repro.utils.deprecation import warn_kwargs_deprecated
+from repro.utils.numerics import (
+    is_sparse,
+    safe_sparse_dot,
+    sparse_mean,
+    sparse_mean_squared_error,
+)
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import (
     ValidationError,
     check_array,
+    check_data_matrix,
     reject_kwargs_with_spec,
 )
 
@@ -357,6 +364,9 @@ class GibbsSamplerTrainer:
         self.chain_batch = spec.sampler.chain_batch
         self.workers = spec.compute.workers
         self.weight_decay = spec.weight_decay
+        self.streaming = spec.streaming
+        self.stream_chunk_size = spec.stream_chunk_size
+        self.sparse_visible = spec.sparse_visible
         self.machine = machine
         self.noise_config = (
             noise_config
@@ -368,6 +378,10 @@ class GibbsSamplerTrainer:
         self.fast_path = spec.compute.fast_path
         self.dtype = np.dtype(spec.compute.dtype)
         self._chains_h: Optional[np.ndarray] = None
+        # Set once the fast path's entry finiteness scan has run for this
+        # trainer; partial_fit validates the model arrays on the first call
+        # only (a per-batch O(mn) scan would erase the fast path's win).
+        self._entry_validated = False
 
     @property
     def chain_states(self) -> Optional[np.ndarray]:
@@ -390,6 +404,138 @@ class GibbsSamplerTrainer:
             )
         return self.machine
 
+    def _init_chains(self, rbm: BernoulliRBM, reset_chains: bool) -> None:
+        """(Re)initialize the persistent chains when needed.
+
+        Documented RNG order: this (chains x n_hidden) block is the first
+        draw from the trainer stream in a ``train()`` call — and likewise in
+        the first ``partial_fit`` of a streamed run, which is why the two
+        entry points consume the stream identically.
+        """
+        if not self.persistent:
+            return
+        if (
+            reset_chains
+            or self._chains_h is None
+            or self._chains_h.shape != (self.chains, rbm.n_hidden)
+        ):
+            self._chains_h = (
+                self._rng.random((self.chains, rbm.n_hidden)) < 0.5
+            ).astype(float)
+
+    def _validate_entry_state(self, rbm: BernoulliRBM) -> None:
+        """The fast path's once-per-entry finiteness scan of the model arrays."""
+        check_array(rbm.weights, name="weights", shape=(rbm.n_visible, rbm.n_hidden))
+        check_array(rbm.visible_bias, name="visible_bias", shape=(rbm.n_visible,))
+        check_array(rbm.hidden_bias, name="hidden_bias", shape=(rbm.n_hidden,))
+        self._entry_validated = True
+
+    def _update_from_batch(self, rbm: BernoulliRBM, machine, program, batch) -> None:
+        """One minibatch update: program, both phases, gradient, in-place step.
+
+        The single update body behind ``train`` and ``partial_fit`` — one
+        source, so streamed and one-shot training cannot drift apart.
+        ``batch`` may be dense or scipy-sparse CSR; the sparse case runs
+        ``safe_sparse_dot`` data-term kernels and is float-tolerance (not
+        bit-identical) against the dense expansion, while dense batches go
+        through the exact legacy expressions.
+        """
+        # Step 2 of the operation sequence: program the current model.
+        program(rbm)
+        # Steps 3-6: positive and negative phases on the substrate.
+        chain_engine = self.persistent or self.chains > 1
+        h_pos = machine.positive_phase(batch)
+        if not chain_engine:
+            v_neg, h_neg = machine.negative_phase(
+                h_pos, self.cd_k, workers=self.workers
+            )
+        elif self.persistent:
+            v_neg, h_neg = machine.negative_phase_chains(
+                self._chains_h, self.cd_k,
+                batch_chains=self.chain_batch, workers=self.workers,
+            )
+            self._chains_h = h_neg
+        else:
+            # Fresh chains each minibatch, seeded from the positive
+            # samples (rows cycled when p exceeds the batch) — CD
+            # statistics with a decoupled chain count.
+            seed_rows = np.resize(np.arange(batch.shape[0]), self.chains)
+            v_neg, h_neg = machine.negative_phase_chains(
+                h_pos[seed_rows], self.cd_k,
+                batch_chains=self.chain_batch, workers=self.workers,
+            )
+
+        # Step 8: host computes the gradient from the read-out samples.  The
+        # data term is the only place the (possibly sparse) batch enters:
+        # v_pos^T . h_pos as sparse-dense and the batch mean over stored
+        # entries; everything negative-phase stays dense.
+        n = batch.shape[0]
+        if chain_engine:
+            grad_w = (
+                safe_sparse_dot(batch.T, h_pos) / n
+                - v_neg.T @ h_neg / v_neg.shape[0]
+            )
+            grad_bv = sparse_mean(batch, axis=0) - np.mean(v_neg, axis=0)
+            grad_bh = np.mean(h_pos, axis=0) - np.mean(h_neg, axis=0)
+        else:
+            grad_w = (safe_sparse_dot(batch.T, h_pos) - v_neg.T @ h_neg) / n
+            if is_sparse(batch):
+                grad_bv = sparse_mean(batch, axis=0) - np.mean(v_neg, axis=0)
+            else:
+                grad_bv = np.mean(batch - v_neg, axis=0)
+            grad_bh = np.mean(h_pos - h_neg, axis=0)
+        if self.weight_decay:
+            grad_w = grad_w - self.weight_decay * rbm.weights
+        rbm.weights += self.learning_rate * grad_w
+        rbm.visible_bias += self.learning_rate * grad_bv
+        rbm.hidden_bias += self.learning_rate * grad_bh
+        machine.host.record_host_update()
+
+    def partial_fit(self, rbm: BernoulliRBM, batch, *, reset_chains: bool = False):
+        """Apply one minibatch update to ``rbm`` — the streaming entry point.
+
+        Persistent chains (and fresh-chain/classic CD state) carry across
+        calls exactly as they carry across minibatches inside ``train``:
+        feeding the batches of ``minibatches(data, batch_size,
+        shuffle=False)`` through ``partial_fit`` one at a time is
+        bit-identical to ``train(rbm, data, epochs=1, shuffle=False)`` under
+        the same seed, because both consume the trainer RNG stream in the
+        same documented order (chain init on the first call, nothing else).
+
+        ``batch`` may be dense or scipy-sparse CSR.  Between calls the
+        substrate stays programmed with the parameters adopted at this
+        call's entry (its effective-weight cache is invalidated on exit, so
+        a float64 fast-path substrate — whose arrays alias the RBM's —
+        resamples current values); the next ``partial_fit`` or ``train``
+        reprograms before sampling.  Returns ``self``.
+        """
+        batch = check_data_matrix(batch, name="batch", n_features=rbm.n_visible)
+        machine = self._ensure_machine(rbm)
+        self._init_chains(rbm, reset_chains)
+        program = machine.program_trusted if self.fast_path else machine.program
+        if self.fast_path and not self._entry_validated:
+            self._validate_entry_state(rbm)
+        self._update_from_batch(rbm, machine, program, batch)
+        if self.fast_path:
+            machine.substrate.invalidate_effective_weights()
+        return self
+
+    def _epoch_recon_error(self, rbm: BernoulliRBM, data) -> float:
+        """Epoch-end mean reconstruction error for dense, sparse, or loader data."""
+        if hasattr(data, "iter_chunks") and not isinstance(data, np.ndarray):
+            total, rows = 0.0, 0
+            for chunk in data.iter_chunks():
+                err = float(
+                    sparse_mean_squared_error(chunk, rbm.reconstruct(chunk))
+                )
+                total += err * chunk.shape[0]
+                rows += chunk.shape[0]
+            return total / rows if rows else float("nan")
+        recon = rbm.reconstruct(data)
+        if is_sparse(data):
+            return float(sparse_mean_squared_error(data, recon))
+        return float(np.mean((data - recon) ** 2))
+
     def train(
         self,
         rbm: BernoulliRBM,
@@ -404,13 +550,35 @@ class GibbsSamplerTrainer:
         ``reset_chains=False`` keeps persistent chains from a previous
         ``train`` call alive (when shapes still match), so stacked training
         schedules can continue the same fantasy particles.
+
+        ``data`` may be a dense array, a scipy-sparse CSR matrix, or — on a
+        streaming trainer (``TrainerSpec.gs(streaming=True, ...)``) — a
+        chunked loader (:class:`repro.datasets.base.ChunkedLoader`).  A
+        streaming trainer drives each epoch through ``iter_chunks`` ->
+        ``rebatch`` -> :meth:`partial_fit`'s update body, visiting rows in
+        storage order; the ``shuffle`` flag is ignored (a stream has no
+        global permutation), and the result is bit-identical to the
+        non-streaming trainer with ``shuffle=False`` on in-memory data.
         """
-        data = check_array(data, name="data", ndim=2)
-        if data.shape[1] != rbm.n_visible:
-            raise ValidationError(
-                f"data has {data.shape[1]} features but the RBM has "
-                f"{rbm.n_visible} visible units"
-            )
+        is_loader = hasattr(data, "iter_chunks") and not isinstance(data, np.ndarray)
+        if is_loader:
+            if not self.streaming:
+                raise ValidationError(
+                    "chunked-loader input requires a streaming trainer "
+                    "(TrainerSpec.gs(streaming=True, ...))"
+                )
+            if data.n_features != rbm.n_visible:
+                raise ValidationError(
+                    f"data has {data.n_features} features but the RBM has "
+                    f"{rbm.n_visible} visible units"
+                )
+        else:
+            data = check_data_matrix(data, name="data")
+            if data.shape[1] != rbm.n_visible:
+                raise ValidationError(
+                    f"data has {data.shape[1]} features but the RBM has "
+                    f"{rbm.n_visible} visible units"
+                )
         if epochs < 1:
             raise ValidationError(f"epochs must be >= 1, got {epochs}")
         machine = self._ensure_machine(rbm)
@@ -418,18 +586,7 @@ class GibbsSamplerTrainer:
         # Multi-chain / PCD negative-phase engine.  The (chains=1,
         # persistent=False) default takes the classic code path below, which
         # is bit-identical to the single-chain implementation.
-        chain_engine = self.persistent or self.chains > 1
-        if self.persistent:
-            if (
-                reset_chains
-                or self._chains_h is None
-                or self._chains_h.shape != (self.chains, rbm.n_hidden)
-            ):
-                # Documented RNG order: this (chains x n_hidden) block is the
-                # first draw from the trainer stream in a train() call.
-                self._chains_h = (
-                    self._rng.random((self.chains, rbm.n_hidden)) < 0.5
-                ).astype(float)
+        self._init_chains(rbm, reset_chains)
 
         # The trainer owns both the RBM and the machine, so reprogramming on
         # every minibatch can adopt the RBM's arrays by reference instead of
@@ -439,56 +596,24 @@ class GibbsSamplerTrainer:
         # only the entry state needs checking.
         program = machine.program_trusted if self.fast_path else machine.program
         if self.fast_path:
-            check_array(rbm.weights, name="weights", shape=(rbm.n_visible, rbm.n_hidden))
-            check_array(rbm.visible_bias, name="visible_bias", shape=(rbm.n_visible,))
-            check_array(rbm.hidden_bias, name="hidden_bias", shape=(rbm.n_hidden,))
+            self._validate_entry_state(rbm)
+
+        def epoch_batches():
+            if self.streaming:
+                chunks = (
+                    data.iter_chunks()
+                    if is_loader
+                    else iter_chunks(data, self.stream_chunk_size or self.batch_size)
+                )
+                return rebatch(chunks, self.batch_size)
+            return minibatches(data, self.batch_size, shuffle=shuffle, rng=self._rng)
 
         history = TrainingHistory()
         for epoch in range(epochs):
-            for batch in minibatches(data, self.batch_size, shuffle=shuffle, rng=self._rng):
-                # Step 2 of the operation sequence: program the current model.
-                program(rbm)
-                # Steps 3-6: positive and negative phases on the substrate.
-                h_pos = machine.positive_phase(batch)
-                if not chain_engine:
-                    v_neg, h_neg = machine.negative_phase(
-                        h_pos, self.cd_k, workers=self.workers
-                    )
-                elif self.persistent:
-                    v_neg, h_neg = machine.negative_phase_chains(
-                        self._chains_h, self.cd_k,
-                        batch_chains=self.chain_batch, workers=self.workers,
-                    )
-                    self._chains_h = h_neg
-                else:
-                    # Fresh chains each minibatch, seeded from the positive
-                    # samples (rows cycled when p exceeds the batch) — CD
-                    # statistics with a decoupled chain count.
-                    seed_rows = np.resize(np.arange(batch.shape[0]), self.chains)
-                    v_neg, h_neg = machine.negative_phase_chains(
-                        h_pos[seed_rows], self.cd_k,
-                        batch_chains=self.chain_batch, workers=self.workers,
-                    )
+            for batch in epoch_batches():
+                self._update_from_batch(rbm, machine, program, batch)
 
-                # Step 8: host computes the gradient from the read-out samples.
-                n = batch.shape[0]
-                if chain_engine:
-                    grad_w = batch.T @ h_pos / n - v_neg.T @ h_neg / v_neg.shape[0]
-                    grad_bv = np.mean(batch, axis=0) - np.mean(v_neg, axis=0)
-                    grad_bh = np.mean(h_pos, axis=0) - np.mean(h_neg, axis=0)
-                else:
-                    grad_w = (batch.T @ h_pos - v_neg.T @ h_neg) / n
-                    grad_bv = np.mean(batch - v_neg, axis=0)
-                    grad_bh = np.mean(h_pos - h_neg, axis=0)
-                if self.weight_decay:
-                    grad_w = grad_w - self.weight_decay * rbm.weights
-                rbm.weights += self.learning_rate * grad_w
-                rbm.visible_bias += self.learning_rate * grad_bv
-                rbm.hidden_bias += self.learning_rate * grad_bh
-                machine.host.record_host_update()
-
-            recon = rbm.reconstruct(data)
-            history.record(epoch, float(np.mean((data - recon) ** 2)))
+            history.record(epoch, self._epoch_recon_error(rbm, data))
             if self.callback is not None:
                 self.callback(epoch, rbm)
 

@@ -8,7 +8,13 @@ deterministic, class-structured synthetic generators with the same shapes
 evaluation code paths.  See ``DESIGN.md`` for the substitution rationale.
 """
 
-from repro.datasets.base import Dataset, RatingsDataset, AnomalyDataset
+from repro.datasets.base import (
+    AnomalyDataset,
+    ArrayChunkLoader,
+    ChunkedLoader,
+    Dataset,
+    RatingsDataset,
+)
 from repro.datasets.synthetic_images import (
     ImageDatasetSpec,
     make_image_dataset,
@@ -19,8 +25,8 @@ from repro.datasets.synthetic_images import (
     load_cifar10_like,
     load_smallnorb_like,
 )
-from repro.datasets.movielens import make_movielens_like
-from repro.datasets.fraud import make_fraud_like
+from repro.datasets.movielens import encode_ratings_onehot, make_movielens_like
+from repro.datasets.fraud import encode_features_onehot, make_fraud_like
 from repro.datasets.registry import (
     BenchmarkConfig,
     TABLE1_CONFIGS,
@@ -33,6 +39,8 @@ __all__ = [
     "Dataset",
     "RatingsDataset",
     "AnomalyDataset",
+    "ChunkedLoader",
+    "ArrayChunkLoader",
     "ImageDatasetSpec",
     "make_image_dataset",
     "load_mnist_like",
@@ -42,7 +50,9 @@ __all__ = [
     "load_cifar10_like",
     "load_smallnorb_like",
     "make_movielens_like",
+    "encode_ratings_onehot",
     "make_fraud_like",
+    "encode_features_onehot",
     "BenchmarkConfig",
     "TABLE1_CONFIGS",
     "get_benchmark",

@@ -19,8 +19,53 @@ import numpy as np
 
 from repro.datasets.base import AnomalyDataset
 from repro.utils.rng import SeedLike, as_rng
-from repro.utils.numerics import sigmoid
+from repro.utils.numerics import sigmoid, sparse_available
 from repro.utils.validation import ValidationError
+
+
+def encode_features_onehot(x, n_bins: int = 16, *, sparse: bool = True):
+    """Quantize [0, 1] features into one-hot bin indicators.
+
+    Each feature value is binned as ``min(floor(x * n_bins), n_bins - 1)``
+    and replaced by a block of ``n_bins`` indicator units, so a row with
+    ``f`` features becomes ``f * n_bins`` visibles with exactly ``f`` ones
+    — density is exactly ``1 / n_bins`` regardless of the data.
+
+    Parameters
+    ----------
+    x:
+        ``(n_samples, n_features)`` matrix with values in [0, 1].
+    n_bins:
+        Quantization levels per feature (>= 2).
+    sparse:
+        ``True`` (default) returns scipy CSR; ``False`` returns the same
+        matrix densified — the two encodings are elementwise equal.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValidationError("encode_features_onehot requires a 2-D matrix")
+    if n_bins < 2:
+        raise ValidationError(f"n_bins must be >= 2, got {n_bins}")
+    if x.min() < 0.0 or x.max() > 1.0:
+        raise ValidationError("features must lie in [0, 1]")
+
+    n, f = x.shape
+    bins = np.minimum((x * n_bins).astype(int), n_bins - 1)
+    cols = (np.arange(f)[None, :] * n_bins + bins).ravel()
+    rows = np.repeat(np.arange(n), f)
+    shape = (n, f * n_bins)
+
+    if sparse:
+        if not sparse_available():  # pragma: no cover - scipy is present in CI
+            raise ValidationError("encode_features_onehot(sparse=True) requires scipy")
+        from scipy import sparse as sp
+
+        return sp.csr_matrix(
+            (np.ones(rows.size, dtype=float), (rows, cols)), shape=shape
+        )
+    out = np.zeros(shape, dtype=float)
+    out[rows, cols] = 1.0
+    return out
 
 
 def make_fraud_like(

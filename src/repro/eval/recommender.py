@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 
 from repro.datasets.base import RatingsDataset
+from repro.datasets.movielens import encode_ratings_onehot
 from repro.eval.metrics import mean_absolute_error
 from repro.config.specs import TrainerSpec
 from repro.rbm.rbm import BernoulliRBM, CDTrainer
@@ -43,7 +44,19 @@ class RBMRecommender:
         Any object with ``train(rbm, data, epochs=...)``; defaults to CD-1.
     epochs:
         Training epochs passed to the trainer.
+    encoding:
+        ``"mean"`` (default) is the dense mean-imputed [0, 1] encoding;
+        ``"onehot"`` is the Salakhutdinov-style softmax-visible encoding
+        (``n_users * rating_levels`` visibles, one block per user), the
+        form that supports sparse training data.
+    sparse:
+        Feed the trainer a scipy CSR matrix instead of a dense one
+        (``encoding="onehot"`` only — the mean encoding is dense by
+        construction).  Predicted ratings match the dense run at float
+        tolerance under the same seed.
     """
+
+    ENCODINGS = ("mean", "onehot")
 
     def __init__(
         self,
@@ -51,14 +64,26 @@ class RBMRecommender:
         *,
         trainer=None,
         epochs: int = 10,
+        encoding: str = "mean",
+        sparse: bool = False,
         rng: SeedLike = None,
     ):
         if n_hidden <= 0:
             raise ValidationError(f"n_hidden must be positive, got {n_hidden}")
         if epochs < 1:
             raise ValidationError(f"epochs must be >= 1, got {epochs}")
+        if encoding not in self.ENCODINGS:
+            raise ValidationError(
+                f"encoding must be one of {self.ENCODINGS}, got {encoding!r}"
+            )
+        if sparse and encoding != "onehot":
+            raise ValidationError(
+                "sparse=True requires encoding='onehot' (the mean encoding is dense)"
+            )
         self.n_hidden = int(n_hidden)
         self.epochs = int(epochs)
+        self.encoding = encoding
+        self.sparse = bool(sparse)
         self._rng = as_rng(rng)
         self.trainer = trainer if trainer is not None else CDTrainer(
             spec=TrainerSpec.cd(0.05, cd_k=1, batch_size=10), rng=self._rng
@@ -88,9 +113,16 @@ class RBMRecommender:
         observed = dataset.train_ratings > 0
         if observed.any():
             self._global_mean = float(dataset.train_ratings[observed].mean())
-        data = self._encode(dataset.train_ratings, dataset.rating_levels)
+        if self.encoding == "onehot":
+            data = encode_ratings_onehot(
+                dataset.train_ratings, dataset.rating_levels, sparse=self.sparse
+            )
+            n_visible = dataset.n_users * dataset.rating_levels
+        else:
+            data = self._encode(dataset.train_ratings, dataset.rating_levels)
+            n_visible = dataset.n_users
         self.rbm = BernoulliRBM(
-            n_visible=dataset.n_users, n_hidden=self.n_hidden, rng=self._rng
+            n_visible=n_visible, n_hidden=self.n_hidden, rng=self._rng
         )
         self.trainer.train(self.rbm, data, epochs=self.epochs)
         self._train_data = data
@@ -100,7 +132,17 @@ class RBMRecommender:
         """Predicted full rating matrix of shape (n_users, n_items)."""
         if self.rbm is None:
             raise ValidationError("fit must be called before predict_matrix")
-        recon = self.rbm.reconstruct(self._train_data)  # (n_items, n_users)
+        recon = self.rbm.reconstruct(self._train_data)  # dense even for CSR input
+        if self.encoding == "onehot":
+            levels = self._rating_levels
+            # (n_items, n_users * K) -> per-user softmax blocks: the predicted
+            # rating is the probability-weighted mean level (Salakhutdinov
+            # et al. 2007, Eq. 2), renormalized since reconstruction
+            # probabilities need not sum to one across a block.
+            probs = recon.reshape(recon.shape[0], -1, levels)
+            scale = np.arange(1, levels + 1, dtype=float)
+            expected = probs @ scale / np.maximum(probs.sum(axis=2), 1e-12)
+            return np.clip(expected.T, 1.0, levels)
         predicted = 1.0 + recon * (self._rating_levels - 1)
         return np.clip(predicted.T, 1.0, self._rating_levels)
 

@@ -14,11 +14,13 @@ import numpy as np
 
 from repro.analog.noise import FIGURE8_NOISE_CONFIGS, NoiseConfig
 from repro.config.specs import NoiseSpec, TrainerSpec
+from repro.core.gibbs_sampler import GibbsSamplerTrainer
 from repro.core.gradient_follower import BGFTrainer
 from repro.datasets.registry import get_benchmark, load_benchmark_dataset
 from repro.eval.anomaly import RBMAnomalyDetector
 from repro.experiments.base import ExperimentResult, format_table
 from repro.utils.rng import spawn_rngs
+from repro.utils.validation import ValidationError
 
 
 def run_figure10(
@@ -28,14 +30,34 @@ def run_figure10(
     epochs: int = 20,
     learning_rate: float = 0.05,
     roc_points: int = 21,
+    engine: str = "bgf",
+    encoding: str = "direct",
+    n_bins: int = 16,
+    sparse: bool = False,
+    streaming: bool = False,
+    chunk_size: Optional[int] = None,
     seed: int = 0,
 ) -> ExperimentResult:
-    """Train the anomaly detector with the BGF under each noise configuration.
+    """Train the anomaly detector under each noise configuration.
 
     Each row holds the configuration's AUC plus the ROC curve resampled at
     ``roc_points`` evenly-spaced false-positive rates (so rows are
     fixed-width regardless of test-set size).
+
+    ``engine="bgf"`` (default) reproduces the paper's whole-loop Boltzmann
+    gradient follower; ``engine="gs"`` swaps in the Gibbs-sampler trainer,
+    which additionally supports the sparse one-hot feature encoding
+    (``encoding="onehot"``, ``n_bins``, ``sparse=True``) and chunked
+    streaming (``streaming=True`` with an optional ``chunk_size``) — the
+    streamed fraud variant exposed by the run registry.
     """
+    if engine not in ("bgf", "gs"):
+        raise ValidationError(f"engine must be 'bgf' or 'gs', got {engine!r}")
+    if engine == "bgf" and (sparse or streaming):
+        raise ValidationError(
+            "sparse/streaming anomaly runs require engine='gs' "
+            "(the BGF is whole-loop by algorithm)"
+        )
     cfg = get_benchmark("anomaly")
     dataset = load_benchmark_dataset("anomaly", scale=scale, seed=seed)
 
@@ -43,16 +65,35 @@ def run_figure10(
     fpr_grid = np.linspace(0.0, 1.0, roc_points)
     for config_index, noise in enumerate(noise_configs):
         rngs = spawn_rngs(seed + config_index, 2)
-        trainer = BGFTrainer(
-            spec=TrainerSpec.bgf(
-                learning_rate,
-                reference_batch_size=20,
-                noise=NoiseSpec.from_noise_config(noise),
-            ),
-            rng=rngs[0],
-        )
+        if engine == "gs":
+            trainer = GibbsSamplerTrainer(
+                spec=TrainerSpec.gs(
+                    learning_rate,
+                    batch_size=20,
+                    streaming=streaming,
+                    stream_chunk_size=chunk_size,
+                    sparse_visible=sparse,
+                    noise=NoiseSpec.from_noise_config(noise),
+                ),
+                rng=rngs[0],
+            )
+        else:
+            trainer = BGFTrainer(
+                spec=TrainerSpec.bgf(
+                    learning_rate,
+                    reference_batch_size=20,
+                    noise=NoiseSpec.from_noise_config(noise),
+                ),
+                rng=rngs[0],
+            )
         detector = RBMAnomalyDetector(
-            n_hidden=cfg.rbm_shape[1], trainer=trainer, epochs=epochs, rng=rngs[1]
+            n_hidden=cfg.rbm_shape[1],
+            trainer=trainer,
+            epochs=epochs,
+            encoding=encoding,
+            n_bins=n_bins,
+            sparse=sparse,
+            rng=rngs[1],
         ).fit(dataset)
         auc = detector.evaluate_auc(dataset)
         fpr, tpr, _ = detector.evaluate_roc(dataset)
@@ -74,7 +115,15 @@ def run_figure10(
             "variation/noise"
         ),
         rows=rows,
-        metadata={"scale": scale, "epochs": epochs, "seed": seed},
+        metadata={
+            "scale": scale,
+            "epochs": epochs,
+            "seed": seed,
+            "engine": engine,
+            "encoding": encoding,
+            "sparse": sparse,
+            "streaming": streaming,
+        },
     )
 
 

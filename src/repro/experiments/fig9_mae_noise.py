@@ -14,11 +14,13 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analog.noise import FIGURE8_NOISE_CONFIGS, NoiseConfig
 from repro.config.specs import NoiseSpec, TrainerSpec
+from repro.core.gibbs_sampler import GibbsSamplerTrainer
 from repro.core.gradient_follower import BGFTrainer
 from repro.datasets.registry import get_benchmark, load_benchmark_dataset
 from repro.eval.recommender import RBMRecommender
 from repro.experiments.base import ExperimentResult, format_table
 from repro.utils.rng import spawn_rngs
+from repro.utils.validation import ValidationError
 
 
 def run_figure9(
@@ -27,9 +29,29 @@ def run_figure9(
     scale: str = "ci",
     epochs: int = 40,
     learning_rate: float = 0.2,
+    engine: str = "bgf",
+    encoding: str = "mean",
+    sparse: bool = False,
+    streaming: bool = False,
+    chunk_size: Optional[int] = None,
     seed: int = 0,
 ) -> ExperimentResult:
-    """Train the recommender with the BGF under each noise configuration."""
+    """Train the recommender under each noise configuration.
+
+    ``engine="bgf"`` (default) reproduces the paper's whole-loop Boltzmann
+    gradient follower; ``engine="gs"`` swaps in the Gibbs-sampler trainer,
+    which additionally supports the sparse one-hot encoding
+    (``encoding="onehot"``, ``sparse=True``) and chunked streaming
+    (``streaming=True`` with an optional ``chunk_size``) — the streamed
+    MovieLens variant exposed by the run registry.
+    """
+    if engine not in ("bgf", "gs"):
+        raise ValidationError(f"engine must be 'bgf' or 'gs', got {engine!r}")
+    if engine == "bgf" and (sparse or streaming):
+        raise ValidationError(
+            "sparse/streaming recommender runs require engine='gs' "
+            "(the BGF is whole-loop by algorithm)"
+        )
     cfg = get_benchmark("recommender")
     ratings = load_benchmark_dataset("recommender", scale=scale, seed=seed)
     n_hidden = cfg.rbm_shape[1] if scale == "paper" else cfg.ci_rbm_shape[1]
@@ -38,16 +60,34 @@ def run_figure9(
     baseline_mae: Optional[float] = None
     for config_index, noise in enumerate(noise_configs):
         rngs = spawn_rngs(seed + config_index, 2)
-        trainer = BGFTrainer(
-            spec=TrainerSpec.bgf(
-                learning_rate,
-                reference_batch_size=10,
-                noise=NoiseSpec.from_noise_config(noise),
-            ),
-            rng=rngs[0],
-        )
+        if engine == "gs":
+            trainer = GibbsSamplerTrainer(
+                spec=TrainerSpec.gs(
+                    learning_rate,
+                    batch_size=10,
+                    streaming=streaming,
+                    stream_chunk_size=chunk_size,
+                    sparse_visible=sparse,
+                    noise=NoiseSpec.from_noise_config(noise),
+                ),
+                rng=rngs[0],
+            )
+        else:
+            trainer = BGFTrainer(
+                spec=TrainerSpec.bgf(
+                    learning_rate,
+                    reference_batch_size=10,
+                    noise=NoiseSpec.from_noise_config(noise),
+                ),
+                rng=rngs[0],
+            )
         recommender = RBMRecommender(
-            n_hidden=n_hidden, trainer=trainer, epochs=epochs, rng=rngs[1]
+            n_hidden=n_hidden,
+            trainer=trainer,
+            epochs=epochs,
+            encoding=encoding,
+            sparse=sparse,
+            rng=rngs[1],
         ).fit(ratings)
         mae = recommender.evaluate_mae(ratings)
         if baseline_mae is None:
@@ -68,7 +108,15 @@ def run_figure9(
             "variation/noise"
         ),
         rows=rows,
-        metadata={"scale": scale, "epochs": epochs, "seed": seed},
+        metadata={
+            "scale": scale,
+            "epochs": epochs,
+            "seed": seed,
+            "engine": engine,
+            "encoding": encoding,
+            "sparse": sparse,
+            "streaming": streaming,
+        },
     )
 
 

@@ -29,7 +29,7 @@ from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
-from repro.analog.converters import DigitalToTimeConverter
+from repro.analog.converters import DigitalToTimeConverter, quantize_uniform
 from repro.analog.noise import NoiseConfig, NoiseModel
 from repro.analog.rng import StochasticNeuronSampler
 from repro.analog.sigmoid_unit import SigmoidUnit
@@ -41,6 +41,7 @@ from repro.utils.parallel import (
     shard_seed_sequence,
     shard_slices,
 )
+from repro.utils.numerics import as_sparse_rows, is_sparse, safe_sparse_dot
 from repro.utils.rng import SeedLike, as_rng, spawn_rngs
 from repro.utils.validation import (
     ValidationError,
@@ -326,7 +327,34 @@ class BipartiteIsingSubstrate:
         return self.weights.copy(), self.visible_bias.copy(), self.hidden_bias.copy()
 
     def clamp_visible(self, values: np.ndarray) -> np.ndarray:
-        """Drive the visible clamp units with ``values`` (through the DTC)."""
+        """Drive the visible clamp units with ``values`` (through the DTC).
+
+        Accepts scipy-sparse CSR rows: a noise-free DTC quantizes the stored
+        entries only (a zero drives the clamp at code 0 exactly, since the
+        converter's full-scale range starts at 0), so the sparse structure
+        survives the conversion and the result equals converting the dense
+        expansion.  A noisy DTC draws per-element code errors over the full
+        clamp array, so sparse input densifies here — the draw shape (and
+        hence the seeded noise realization) is identical to the dense call.
+        """
+        if is_sparse(values):
+            values = as_sparse_rows(values)
+            if values.shape[-1] != self.n_visible:
+                raise ValidationError(
+                    f"clamp values last dimension {values.shape[-1]} does not "
+                    f"match {self.n_visible} visible nodes"
+                )
+            if self.input_dtc is None:
+                return values
+            dtc = self.input_dtc
+            zero_is_exact = (
+                float(quantize_uniform(0.0, dtc.n_bits, dtc.value_range)) == 0.0
+            )
+            if dtc.nonlinearity_rms == 0.0 and zero_is_exact:
+                converted = values.copy()
+                converted.data = dtc.convert(values.data)
+                return converted
+            return dtc.convert(values.toarray())
         values = np.asarray(values, dtype=float)
         if values.shape[-1] != self.n_visible:
             raise ValidationError(
@@ -419,7 +447,10 @@ class BipartiteIsingSubstrate:
         means the substrate's own."""
         if state.dtype != coupling.dtype:
             state = state.astype(coupling.dtype)
-        field = state @ coupling
+        # safe_sparse_dot falls through to the plain operator for dense
+        # states (bit-identical); CSR clamp states run the sparse matmul and
+        # densify here, at the field — the Bernoulli-draw boundary.
+        field = safe_sparse_dot(state, coupling)
         field += bias
         if self._has_dynamic:
             if noise_model is None:
@@ -430,11 +461,14 @@ class BipartiteIsingSubstrate:
 
     def hidden_field(self, visible: np.ndarray) -> np.ndarray:
         """Summed column currents seen by the hidden nodes (plus node noise)."""
-        visible = np.atleast_2d(np.asarray(visible, dtype=float))
+        if is_sparse(visible):
+            visible = as_sparse_rows(visible)
+        else:
+            visible = np.atleast_2d(np.asarray(visible, dtype=float))
         if self.fast_path:
             effective, _ = self._effective_pair()
             return self._field(visible, effective, self.hidden_bias)
-        field = visible @ self._effective_weights() + self.hidden_bias
+        field = safe_sparse_dot(visible, self._effective_weights()) + self.hidden_bias
         scale = max(float(np.std(field)), 1.0)
         return field + self.noise_model.node_noise(field.shape, scale=scale)
 
@@ -499,8 +533,20 @@ class BipartiteIsingSubstrate:
         )
 
     def sample_hidden_given_visible(self, visible: np.ndarray) -> np.ndarray:
-        """Clamp the visible nodes and latch one hidden sample."""
-        clamped = self.clamp_visible(np.atleast_2d(np.asarray(visible, dtype=float)))
+        """Clamp the visible nodes and latch one hidden sample.
+
+        ``visible`` may be a scipy-sparse CSR batch: the clamp and the field
+        matmul stay sparse, and the first dense array materialized is the
+        ``(batch, n_hidden)`` field — every downstream draw (node noise,
+        comparator uniforms) has the same shape as the dense call, so the
+        seeded draw streams are identical either way.
+        """
+        if is_sparse(visible):
+            clamped = self.clamp_visible(visible)
+        else:
+            clamped = self.clamp_visible(
+                np.atleast_2d(np.asarray(visible, dtype=float))
+            )
         if self.fast_path:
             return self._sample_hidden_trusted(clamped)
         return self.hidden_sampler.sample(self.hidden_probability(clamped))
@@ -727,7 +773,9 @@ class BipartiteIsingSubstrate:
 
     def reconstruct(self, visible: np.ndarray) -> np.ndarray:
         """Mean-field reconstruction through the analog sigmoid units."""
-        hidden_probs = self.hidden_probability(self.clamp_visible(np.atleast_2d(visible)))
+        if not is_sparse(visible):
+            visible = np.atleast_2d(visible)
+        hidden_probs = self.hidden_probability(self.clamp_visible(visible))
         return self.visible_probability(hidden_probs)
 
     @property

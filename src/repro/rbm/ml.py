@@ -12,9 +12,20 @@ import numpy as np
 
 from repro.rbm.partition import MAX_ENUMERATION_BITS, enumerate_states
 from repro.rbm.rbm import BernoulliRBM, TrainingHistory
-from repro.utils.numerics import logsumexp, sigmoid
+from repro.utils.numerics import (
+    is_sparse,
+    logsumexp,
+    safe_sparse_dot,
+    sigmoid,
+    sparse_mean,
+    sparse_mean_squared_error,
+)
 from repro.utils.rng import SeedLike, as_rng
-from repro.utils.validation import ValidationError, check_array, check_positive
+from repro.utils.validation import (
+    ValidationError,
+    check_data_matrix,
+    check_positive,
+)
 
 
 class MaximumLikelihoodTrainer:
@@ -55,12 +66,17 @@ class MaximumLikelihoodTrainer:
 
     @staticmethod
     def data_expectations(rbm: BernoulliRBM, data: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Exact ⟨v_i h_j⟩_data, ⟨v_i⟩_data, ⟨h_j⟩_data (Eq. 9)."""
-        data = np.atleast_2d(np.asarray(data, dtype=float))
+        """Exact ⟨v_i h_j⟩_data, ⟨v_i⟩_data, ⟨h_j⟩_data (Eq. 9).
+
+        ``data`` may be dense or scipy-sparse CSR; the sparse accumulation
+        matches the dense one at float tolerance.
+        """
+        if not is_sparse(data):
+            data = np.atleast_2d(np.asarray(data, dtype=float))
         h_probs = rbm.hidden_activation_probability(data)
         n = data.shape[0]
-        vh = data.T @ h_probs / n
-        return vh, np.mean(data, axis=0), np.mean(h_probs, axis=0)
+        vh = safe_sparse_dot(data.T, h_probs) / n
+        return vh, sparse_mean(data, axis=0), np.mean(h_probs, axis=0)
 
     def train(
         self,
@@ -79,13 +95,19 @@ class MaximumLikelihoodTrainer:
         record_every:
             If positive, record reconstruction error every that many steps.
         """
-        data = check_array(data, name="data", ndim=2)
+        data = check_data_matrix(data, name="data")
         if data.shape[1] != rbm.n_visible:
             raise ValidationError(
                 f"data has {data.shape[1]} features; RBM has {rbm.n_visible} visible units"
             )
         if iterations < 1:
             raise ValidationError(f"iterations must be >= 1, got {iterations}")
+
+        def _recon_error() -> float:
+            recon = rbm.reconstruct(data)
+            if is_sparse(data):
+                return float(sparse_mean_squared_error(data, recon))
+            return float(np.mean((data - recon) ** 2))
 
         history = TrainingHistory()
         data_vh, data_v, data_h = self.data_expectations(rbm, data)
@@ -98,9 +120,7 @@ class MaximumLikelihoodTrainer:
             # must be refreshed after each update.
             data_vh, data_v, data_h = self.data_expectations(rbm, data)
             if record_every and (step + 1) % record_every == 0:
-                recon = rbm.reconstruct(data)
-                history.record(step, float(np.mean((data - recon) ** 2)))
+                history.record(step, _recon_error())
         if not len(history):
-            recon = rbm.reconstruct(data)
-            history.record(iterations - 1, float(np.mean((data - recon) ** 2)))
+            history.record(iterations - 1, _recon_error())
         return history

@@ -15,9 +15,20 @@ import numpy as np
 
 from repro.rbm.rbm import BernoulliRBM, TrainingHistory
 from repro.utils.batching import minibatches
-from repro.utils.numerics import bernoulli_sample
+from repro.utils.numerics import (
+    bernoulli_sample,
+    is_sparse,
+    safe_sparse_dot,
+    sparse_mean,
+    sparse_mean_squared_error,
+    to_dense,
+)
 from repro.utils.rng import SeedLike, as_rng
-from repro.utils.validation import ValidationError, check_array, check_positive
+from repro.utils.validation import (
+    ValidationError,
+    check_data_matrix,
+    check_positive,
+)
 
 
 class PCDTrainer:
@@ -97,6 +108,72 @@ class PCDTrainer:
         self._particles_v = v
         return v, h
 
+    def _ensure_particles(self, rbm: BernoulliRBM, reset_particles: bool) -> None:
+        """(Re)initialize the persistent particle pool when needed.
+
+        Documented RNG order: the init block is the first draw from the
+        trainer stream in a ``train()`` call — and in the first
+        ``partial_fit`` of a streamed run.
+        """
+        if not self.persistent:
+            return
+        if reset_particles or self._particles_v is None:
+            self._init_particles(rbm)
+        elif self._particles_v.shape[1] != rbm.n_visible:
+            raise ValidationError(
+                "persistent particles do not match the RBM's visible size"
+            )
+
+    def _update_from_batch(self, rbm: BernoulliRBM, batch) -> None:
+        """One PCD update: positive statistics, particle advance, in-place step.
+
+        The single update body behind ``train`` and ``partial_fit``.
+        ``batch`` may be dense or scipy-sparse CSR: the positive phase uses
+        hidden probabilities (no RNG draw), so the data term dispatches
+        through the sparse-dense kernels while the particle chains stay
+        dense.
+        """
+        h_pos_prob = rbm.hidden_activation_probability(batch)
+        if not self.persistent:
+            # CD-style re-seed: particles restart from the minibatch
+            # rows (cycled) instead of persisting across updates.
+            seed_rows = np.resize(np.arange(batch.shape[0]), self.n_particles)
+            seed = batch[seed_rows]
+            self._particles_v = to_dense(seed) if is_sparse(seed) else seed.copy()
+        v_neg, h_neg = self._advance_particles(rbm)
+        h_neg_prob = rbm.hidden_activation_probability(v_neg)
+
+        batch_n = batch.shape[0]
+        grad_w = (
+            safe_sparse_dot(batch.T, h_pos_prob) / batch_n
+            - v_neg.T @ h_neg_prob / self.n_particles
+        )
+        grad_bv = sparse_mean(batch, axis=0) - np.mean(v_neg, axis=0)
+        grad_bh = np.mean(h_pos_prob, axis=0) - np.mean(h_neg_prob, axis=0)
+        if self.weight_decay:
+            grad_w = grad_w - self.weight_decay * rbm.weights
+
+        rbm.weights += self.learning_rate * grad_w
+        rbm.visible_bias += self.learning_rate * grad_bv
+        rbm.hidden_bias += self.learning_rate * grad_bh
+
+    def partial_fit(self, rbm: BernoulliRBM, batch, *, reset_particles: bool = False):
+        """Apply one PCD update to ``rbm`` — the streaming entry point.
+
+        The fantasy particles carry across calls exactly as they carry
+        across minibatches inside ``train``: feeding the batches of
+        ``minibatches(data, batch_size, shuffle=False)`` through
+        ``partial_fit`` one at a time is bit-identical to ``train(rbm,
+        data, epochs=1, shuffle=False)`` under the same seed (both consume
+        the trainer RNG in the same order — particle init on the first
+        call, then one advance per batch).  ``batch`` may be dense or
+        scipy-sparse CSR.  Returns ``self``.
+        """
+        batch = check_data_matrix(batch, name="batch", n_features=rbm.n_visible)
+        self._ensure_particles(rbm, reset_particles)
+        self._update_from_batch(rbm, batch)
+        return self
+
     def train(
         self,
         rbm: BernoulliRBM,
@@ -106,8 +183,12 @@ class PCDTrainer:
         shuffle: bool = True,
         reset_particles: bool = True,
     ) -> TrainingHistory:
-        """Train ``rbm`` in place with persistent CD."""
-        data = check_array(data, name="data", ndim=2)
+        """Train ``rbm`` in place with persistent CD.
+
+        ``data`` may be dense or scipy-sparse CSR; sparse runs agree with
+        the dense expansion at float tolerance under the same seed.
+        """
+        data = check_data_matrix(data, name="data")
         if data.shape[1] != rbm.n_visible:
             raise ValidationError(
                 f"data has {data.shape[1]} features but the RBM has "
@@ -115,37 +196,17 @@ class PCDTrainer:
             )
         if epochs < 1:
             raise ValidationError(f"epochs must be >= 1, got {epochs}")
-        if self.persistent:
-            if reset_particles or self._particles_v is None:
-                self._init_particles(rbm)
-            elif self._particles_v.shape[1] != rbm.n_visible:
-                raise ValidationError(
-                    "persistent particles do not match the RBM's visible size"
-                )
+        self._ensure_particles(rbm, reset_particles)
 
         history = TrainingHistory()
         for epoch in range(epochs):
             for batch in minibatches(data, self.batch_size, shuffle=shuffle, rng=self._rng):
-                h_pos_prob = rbm.hidden_activation_probability(batch)
-                if not self.persistent:
-                    # CD-style re-seed: particles restart from the minibatch
-                    # rows (cycled) instead of persisting across updates.
-                    seed_rows = np.resize(np.arange(batch.shape[0]), self.n_particles)
-                    self._particles_v = batch[seed_rows].copy()
-                v_neg, h_neg = self._advance_particles(rbm)
-                h_neg_prob = rbm.hidden_activation_probability(v_neg)
-
-                batch_n = batch.shape[0]
-                grad_w = batch.T @ h_pos_prob / batch_n - v_neg.T @ h_neg_prob / self.n_particles
-                grad_bv = np.mean(batch, axis=0) - np.mean(v_neg, axis=0)
-                grad_bh = np.mean(h_pos_prob, axis=0) - np.mean(h_neg_prob, axis=0)
-                if self.weight_decay:
-                    grad_w = grad_w - self.weight_decay * rbm.weights
-
-                rbm.weights += self.learning_rate * grad_w
-                rbm.visible_bias += self.learning_rate * grad_bv
-                rbm.hidden_bias += self.learning_rate * grad_bh
+                self._update_from_batch(rbm, batch)
 
             recon = rbm.reconstruct(data)
-            history.record(epoch, float(np.mean((data - recon) ** 2)))
+            if is_sparse(data):
+                recon_error = float(sparse_mean_squared_error(data, recon))
+            else:
+                recon_error = float(np.mean((data - recon) ** 2))
+            history.record(epoch, recon_error)
         return history

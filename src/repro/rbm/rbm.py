@@ -18,11 +18,20 @@ import numpy as np
 from repro.config.specs import ComputeSpec, TrainerSpec
 from repro.utils.batching import minibatches
 from repro.utils.deprecation import warn_kwargs_deprecated
-from repro.utils.numerics import bernoulli_sample, log1pexp, sigmoid
+from repro.utils.numerics import (
+    bernoulli_sample,
+    is_sparse,
+    log1pexp,
+    safe_sparse_dot,
+    sigmoid,
+    sparse_mean,
+    sparse_mean_squared_error,
+)
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import (
     ValidationError,
     check_array,
+    check_data_matrix,
     check_positive,
     reject_kwargs_with_spec,
 )
@@ -133,14 +142,23 @@ class BernoulliRBM:
         For Bernoulli hidden units this has the closed form
         ``-b_v.v - sum_j softplus(b_h_j + (v W)_j)``.
         """
-        v = np.atleast_2d(np.asarray(v, dtype=float))
-        hidden_input = v @ self.weights + self.hidden_bias
-        return -(v @ self.visible_bias) - np.sum(log1pexp(hidden_input), axis=1)
+        if not is_sparse(v):
+            v = np.atleast_2d(np.asarray(v, dtype=float))
+        hidden_input = safe_sparse_dot(v, self.weights) + self.hidden_bias
+        return -safe_sparse_dot(v, self.visible_bias) - np.sum(
+            log1pexp(hidden_input), axis=1
+        )
 
     def hidden_activation_probability(self, v: np.ndarray) -> np.ndarray:
-        """P(h_j = 1 | v) for each hidden unit (Eq. 4)."""
-        v = np.atleast_2d(np.asarray(v, dtype=float))
-        return sigmoid(v @ self.weights + self.hidden_bias)
+        """P(h_j = 1 | v) for each hidden unit (Eq. 4).
+
+        ``v`` may be a scipy-sparse CSR batch: the matmul runs sparse-dense
+        and the returned probability array is dense, so everything
+        downstream of this call is unchanged.
+        """
+        if not is_sparse(v):
+            v = np.atleast_2d(np.asarray(v, dtype=float))
+        return sigmoid(safe_sparse_dot(v, self.weights) + self.hidden_bias)
 
     def visible_activation_probability(self, h: np.ndarray) -> np.ndarray:
         """P(v_i = 1 | h) for each visible unit (Eq. 5)."""
@@ -318,9 +336,15 @@ class CDTrainer:
         batch = v_pos.shape[0]
         # Use probabilities for the positive hidden statistics and the final
         # negative hidden statistics (Hinton's practical guide); sampled
-        # states are used for the chain itself, as in Algorithm 1.
-        grad_w = (v_pos.T @ h_pos_prob - v_neg.T @ h_neg_prob) / batch
-        grad_bv = np.mean(v_pos - v_neg, axis=0)
+        # states are used for the chain itself, as in Algorithm 1.  The data
+        # term dispatches on the batch type: CSR visibles accumulate
+        # v_pos^T . h_pos as a sparse-dense product (the negative statistics
+        # are dense Gibbs samples either way).
+        grad_w = (safe_sparse_dot(v_pos.T, h_pos_prob) - v_neg.T @ h_neg_prob) / batch
+        if is_sparse(v_pos):
+            grad_bv = sparse_mean(v_pos, axis=0) - np.mean(v_neg, axis=0)
+        else:
+            grad_bv = np.mean(v_pos - v_neg, axis=0)
         grad_bh = np.mean(h_pos_prob - h_neg_prob, axis=0)
         return grad_w, grad_bv, grad_bh, v_neg
 
@@ -336,8 +360,13 @@ class CDTrainer:
 
         Returns a :class:`TrainingHistory` with per-epoch reconstruction
         error (mean squared error of the mean-field reconstruction).
+
+        ``data`` may be dense or scipy-sparse CSR; sparse batches run the
+        sparse-dense data-term kernels and agree with the dense expansion at
+        float tolerance under the same seed (the Bernoulli draws consume the
+        identical uniform stream either way).
         """
-        data = check_array(data, name="data", ndim=2)
+        data = check_data_matrix(data, name="data")
         if data.shape[1] != rbm.n_visible:
             raise ValidationError(
                 f"data has {data.shape[1]} features but the RBM has "
@@ -377,7 +406,10 @@ class CDTrainer:
                     rbm.hidden_bias += self.learning_rate * grad_bh
 
             recon = rbm.reconstruct(data)
-            recon_error = float(np.mean((data - recon) ** 2))
+            if is_sparse(data):
+                recon_error = float(sparse_mean_squared_error(data, recon))
+            else:
+                recon_error = float(np.mean((data - recon) ** 2))
             history.record(epoch, recon_error)
             if self.callback is not None:
                 self.callback(epoch, rbm)

@@ -18,8 +18,20 @@ from repro.utils.numerics import (
     sign_to_binary,
     binary_to_sign,
     clip_norm,
+    is_sparse,
+    safe_sparse_dot,
+    to_dense,
+    sparse_mean,
+    sparse_mean_squared_error,
+    sparse_density,
 )
-from repro.utils.batching import minibatches, shuffle_arrays, train_test_split
+from repro.utils.batching import (
+    iter_chunks,
+    minibatches,
+    rebatch,
+    shuffle_arrays,
+    train_test_split,
+)
 from repro.utils.deprecation import reset_warnings, warn_kwargs_deprecated
 from repro.utils.parallel import (
     ShardedExecutor,
@@ -29,6 +41,7 @@ from repro.utils.parallel import (
 )
 from repro.utils.validation import (
     check_array,
+    check_data_matrix,
     check_binary,
     check_probability,
     check_positive,
@@ -50,7 +63,15 @@ __all__ = [
     "sign_to_binary",
     "binary_to_sign",
     "clip_norm",
+    "is_sparse",
+    "safe_sparse_dot",
+    "to_dense",
+    "sparse_mean",
+    "sparse_mean_squared_error",
+    "sparse_density",
     "minibatches",
+    "iter_chunks",
+    "rebatch",
     "shuffle_arrays",
     "train_test_split",
     "warn_kwargs_deprecated",
@@ -60,6 +81,7 @@ __all__ = [
     "resolve_workers",
     "shard_slices",
     "check_array",
+    "check_data_matrix",
     "check_binary",
     "check_probability",
     "check_positive",

@@ -20,6 +20,11 @@ from typing import Optional
 
 import numpy as np
 
+try:  # scipy is a declared dependency, but keep the import soft so the
+    from scipy import sparse as _scipy_sparse  # dense-only paths survive without it
+except ImportError:  # pragma: no cover - scipy is present in CI
+    _scipy_sparse = None
+
 from repro.utils.rng import SeedLike, as_rng
 
 
@@ -237,3 +242,119 @@ def clip_norm(x: np.ndarray, max_norm: float) -> np.ndarray:
     if norm <= max_norm or norm == 0.0:
         return x
     return x * (max_norm / norm)
+
+
+# ---------------------------------------------------------------------------
+# Sparse-visible dispatch.
+#
+# The data-side kernels (positive phase, gradient accumulation) accept
+# ``scipy.sparse`` CSR visibles; everything downstream of the field
+# computation stays dense, so these helpers are the single boundary where
+# sparse and dense inputs diverge.  Results agree with the dense path at
+# float tolerance only: sparse matmuls accumulate per-row in index order,
+# which reassociates the sums relative to the dense BLAS kernels.
+# ---------------------------------------------------------------------------
+
+
+def sparse_available() -> bool:
+    """True when scipy.sparse imported successfully."""
+    return _scipy_sparse is not None
+
+
+def is_sparse(x) -> bool:
+    """True for any scipy sparse matrix/array (CSR, CSC, COO, ...)."""
+    return _scipy_sparse is not None and _scipy_sparse.issparse(x)
+
+
+def as_sparse_rows(x, dtype=float):
+    """Canonicalize a sparse input for row-major data-side kernels.
+
+    Returns CSR with float data; CSR inputs of the right dtype pass through
+    uncopied.  Raises if scipy is unavailable or ``x`` is not 2-D.
+    """
+    if _scipy_sparse is None:  # pragma: no cover - scipy is present in CI
+        raise ValueError("scipy.sparse is unavailable; pass a dense array instead")
+    if not _scipy_sparse.issparse(x):
+        raise ValueError(f"expected a scipy sparse matrix, got {type(x).__name__}")
+    if x.ndim != 2:
+        raise ValueError(f"sparse visibles must be 2-D, got ndim={x.ndim}")
+    out = x.tocsr()
+    if out.dtype != np.dtype(dtype):
+        out = out.astype(dtype)
+    return out
+
+
+def safe_sparse_dot(a, b) -> np.ndarray:
+    """``a @ b`` that tolerates either operand being scipy-sparse.
+
+    Always returns a dense ndarray (scipy's spmatrix ``@`` can return
+    ``np.matrix``, which silently changes elementwise semantics downstream).
+    Dense x dense falls through to the plain operator, bit-identical to
+    ``a @ b``.
+    """
+    if is_sparse(a) or is_sparse(b):
+        out = a @ b
+        if is_sparse(out):  # sparse @ sparse
+            out = out.toarray()
+        return np.asarray(out)
+    return a @ b
+
+
+def to_dense(x, dtype=None) -> np.ndarray:
+    """Densify a sparse matrix; pass dense input through ``np.asarray``."""
+    if is_sparse(x):
+        out = x.toarray()
+    else:
+        out = np.asarray(x)
+    if dtype is not None and out.dtype != np.dtype(dtype):
+        out = out.astype(dtype)
+    return out
+
+
+def sparse_mean(x, axis: int = 0) -> np.ndarray:
+    """Mean of a sparse matrix along ``axis``, returned as a dense 1-D array.
+
+    ``spmatrix.mean`` returns ``np.matrix``; this wrapper flattens to the
+    plain ndarray the gradient code expects.
+    """
+    if not is_sparse(x):
+        return np.mean(np.asarray(x, dtype=float), axis=axis)
+    return np.asarray(x.mean(axis=axis), dtype=float).ravel()
+
+
+def sparse_mean_squared_error(x, dense, axis: Optional[int] = None):
+    """``mean((x - dense)**2)`` where ``x`` may be sparse and ``dense`` is not.
+
+    Expands the square — ``mean(d**2) - 2*mean(x*d) + mean(x**2)`` — so the
+    sparse operand is never densified; the cross term touches only the nnz
+    entries.  ``axis=None`` gives the scalar mean over all elements (the
+    epoch reconstruction-error diagnostic), ``axis=1`` the per-row mean (the
+    anomaly reconstruction score).  Dense ``x`` falls through to the direct
+    formula.
+    """
+    dense = np.asarray(dense, dtype=float)
+    if not is_sparse(x):
+        diff = np.asarray(x, dtype=float) - dense
+        return np.mean(diff**2, axis=axis)
+    if x.shape != dense.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {dense.shape}")
+    if axis is None:
+        total = float(np.sum(dense**2))
+        total -= 2.0 * float(x.multiply(dense).sum())
+        total += float(x.multiply(x).sum())
+        return total / dense.size
+    if axis != 1:
+        raise ValueError(f"axis must be None or 1, got {axis}")
+    row = np.sum(dense**2, axis=1)
+    row -= 2.0 * np.asarray(x.multiply(dense).sum(axis=1), dtype=float).ravel()
+    row += np.asarray(x.multiply(x).sum(axis=1), dtype=float).ravel()
+    return row / dense.shape[1]
+
+
+def sparse_density(x) -> float:
+    """Fraction of stored (nonzero) entries; dense inputs count exact nonzeros."""
+    if is_sparse(x):
+        rows, cols = x.shape
+        return x.nnz / float(rows * cols) if rows and cols else 0.0
+    arr = np.asarray(x)
+    return float(np.count_nonzero(arr)) / arr.size if arr.size else 0.0

@@ -64,6 +64,30 @@ def check_array(
     return arr
 
 
+def check_data_matrix(x, *, name: str = "data", n_features: Optional[int] = None):
+    """Validate a 2-D design matrix that may be dense or scipy-sparse.
+
+    Dense inputs go through :func:`check_array` exactly as before (float64
+    coercion, finiteness).  Sparse inputs are canonicalized to float CSR and
+    only the stored entries are checked for finiteness — the implicit zeros
+    are finite by construction.  Returns the validated matrix, so callers
+    can dispatch on the returned type.
+    """
+    from repro.utils.numerics import as_sparse_rows, is_sparse
+
+    if is_sparse(x):
+        arr = as_sparse_rows(x)
+        if arr.size and not np.all(np.isfinite(arr.data)):
+            raise ValidationError(f"{name} contains non-finite values")
+        if n_features is not None and arr.shape[1] != n_features:
+            raise ValidationError(
+                f"{name} axis 1 must have size {n_features}, got {arr.shape[1]}"
+            )
+        return arr
+    shape = (None, n_features) if n_features is not None else None
+    return check_array(x, name=name, ndim=2, shape=shape)
+
+
 def check_binary(x, *, name: str = "array") -> np.ndarray:
     """Validate that ``x`` holds only 0/1 values (as floats)."""
     arr = np.asarray(x, dtype=float)

@@ -32,6 +32,21 @@ class TestRegistryCoverage:
             get_experiment("table2").preset("paper")
 
 
+class TestStreamedPresets:
+    """The streamed MovieLens/fraud variants exposed by the run registry."""
+
+    @pytest.mark.parametrize("name", ["figure9", "figure10"])
+    def test_streamed_preset_registered(self, name):
+        preset = get_experiment(name).preset("streamed")
+        assert preset.preset == "streamed"
+        kwargs = get_experiment(name).materialize_kwargs(preset)
+        assert kwargs["engine"] == "gs"
+        assert kwargs["encoding"] == "onehot"
+        assert kwargs["sparse"] is True
+        assert kwargs["streaming"] is True
+        assert kwargs["chunk_size"] >= 1
+
+
 class TestPresetRoundTrips:
     """Satellite: RunSpec.from_dict(spec.to_dict()) == spec for every
     registered preset of every experiment."""

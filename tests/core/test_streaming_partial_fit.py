@@ -1,0 +1,224 @@
+"""Streaming `partial_fit` pinning: streamed training == one-shot training.
+
+The streaming entry points (`GibbsSamplerTrainer.partial_fit`,
+`PCDTrainer.partial_fit`, the `TrainerSpec.gs(streaming=True)` epoch loop,
+and the chunked-loader protocol) all promise bit-identity with the one-shot
+`train(..., shuffle=False)` call under the same seed and batch order —
+both consume the trainer RNG stream in the same documented order.  These
+tests pin that contract exactly (``assert_array_equal``, not allclose).
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.config.specs import TrainerSpec
+from repro.core.gibbs_sampler import GibbsSamplerTrainer
+from repro.datasets.base import ArrayChunkLoader, ChunkedLoader
+from repro.rbm.pcd import PCDTrainer
+from repro.rbm.rbm import BernoulliRBM
+from repro.utils.batching import minibatches
+from repro.utils.validation import ValidationError
+
+pytestmark = pytest.mark.sparse
+
+N_VISIBLE, N_HIDDEN, N_ROWS, BATCH = 16, 8, 30, 5
+
+
+def _data(sparse=False, seed=0):
+    dense = np.where(
+        np.random.default_rng(seed).random((N_ROWS, N_VISIBLE)) < 0.25, 1.0, 0.0
+    )
+    return sp.csr_matrix(dense) if sparse else dense
+
+
+def _params(rbm):
+    return (rbm.weights.copy(), rbm.visible_bias.copy(), rbm.hidden_bias.copy())
+
+
+def _assert_params_equal(a, b):
+    for pa, pb in zip(_params(a), _params(b)):
+        np.testing.assert_array_equal(pa, pb)
+
+
+def _gs_trainer(**knobs):
+    rng = knobs.pop("rng", 1)
+    return GibbsSamplerTrainer(spec=TrainerSpec.gs(0.1, batch_size=BATCH, **knobs), rng=rng)
+
+
+class TestGSPartialFitBitIdentity:
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {},  # classic CD-1
+            {"chains": 4, "persistent": True},  # PCD-style persistent chains
+            {"chains": 4, "persistent": False},  # fresh chains per batch
+        ],
+        ids=["classic", "persistent", "fresh-chains"],
+    )
+    @pytest.mark.parametrize("sparse", [False, True], ids=["dense", "csr"])
+    def test_partial_fit_stream_matches_one_shot_train(self, knobs, sparse):
+        data = _data(sparse=sparse)
+        rbm_stream = BernoulliRBM(N_VISIBLE, N_HIDDEN, rng=0)
+        rbm_train = BernoulliRBM(N_VISIBLE, N_HIDDEN, rng=0)
+
+        streamer = _gs_trainer(sparse_visible=sparse, **knobs)
+        for batch in minibatches(data, BATCH):
+            streamer.partial_fit(rbm_stream, batch)
+
+        _gs_trainer(sparse_visible=sparse, **knobs).train(
+            rbm_train, data, epochs=1, shuffle=False
+        )
+        _assert_params_equal(rbm_stream, rbm_train)
+
+    def test_persistent_chains_carry_across_calls(self):
+        data = _data()
+        trainer = _gs_trainer(chains=4, persistent=True)
+        rbm = BernoulliRBM(N_VISIBLE, N_HIDDEN, rng=0)
+        trainer.partial_fit(rbm, data[:BATCH])
+        first = trainer.chain_states
+        trainer.partial_fit(rbm, data[BATCH : 2 * BATCH])
+        assert not np.array_equal(first, trainer.chain_states)
+
+    def test_reset_chains_reinitializes(self):
+        data = _data()
+        trainer = _gs_trainer(chains=4, persistent=True)
+        rbm = BernoulliRBM(N_VISIBLE, N_HIDDEN, rng=0)
+        trainer.partial_fit(rbm, data[:BATCH])
+        trainer.partial_fit(rbm, data[:BATCH], reset_chains=True)
+        assert trainer.chain_states.shape == (4, N_HIDDEN)
+
+    def test_batch_width_validated(self):
+        trainer = _gs_trainer()
+        rbm = BernoulliRBM(N_VISIBLE, N_HIDDEN, rng=0)
+        with pytest.raises(ValidationError):
+            trainer.partial_fit(rbm, np.zeros((4, N_VISIBLE + 1)))
+
+
+class TestStreamingTrainer:
+    @pytest.mark.parametrize("chunk_size", [3, BATCH, 8, None])
+    @pytest.mark.parametrize("sparse", [False, True], ids=["dense", "csr"])
+    def test_streaming_train_matches_one_shot(self, chunk_size, sparse):
+        data = _data(sparse=sparse)
+        rbm_stream = BernoulliRBM(N_VISIBLE, N_HIDDEN, rng=0)
+        rbm_train = BernoulliRBM(N_VISIBLE, N_HIDDEN, rng=0)
+
+        _gs_trainer(
+            streaming=True, stream_chunk_size=chunk_size, sparse_visible=sparse
+        ).train(rbm_stream, data, epochs=2)
+        _gs_trainer(sparse_visible=sparse).train(
+            rbm_train, data, epochs=2, shuffle=False
+        )
+        _assert_params_equal(rbm_stream, rbm_train)
+
+    @pytest.mark.parametrize("sparse", [False, True], ids=["dense", "csr"])
+    def test_chunked_loader_matches_in_memory(self, sparse):
+        data = _data(sparse=sparse)
+        loader = ArrayChunkLoader(data, chunk_size=7)
+        rbm_loader = BernoulliRBM(N_VISIBLE, N_HIDDEN, rng=0)
+        rbm_memory = BernoulliRBM(N_VISIBLE, N_HIDDEN, rng=0)
+
+        _gs_trainer(streaming=True, sparse_visible=sparse).train(
+            rbm_loader, loader, epochs=2
+        )
+        _gs_trainer(sparse_visible=sparse).train(
+            rbm_memory, data, epochs=2, shuffle=False
+        )
+        _assert_params_equal(rbm_loader, rbm_memory)
+
+    def test_loader_requires_streaming_trainer(self):
+        loader = ArrayChunkLoader(_data(), chunk_size=7)
+        with pytest.raises(ValidationError):
+            _gs_trainer().train(BernoulliRBM(N_VISIBLE, N_HIDDEN, rng=0), loader)
+
+    def test_loader_feature_width_validated(self):
+        loader = ArrayChunkLoader(np.zeros((10, N_VISIBLE + 3)), chunk_size=5)
+        with pytest.raises(ValidationError):
+            _gs_trainer(streaming=True).train(
+                BernoulliRBM(N_VISIBLE, N_HIDDEN, rng=0), loader
+            )
+
+
+class TestArrayChunkLoader:
+    def test_protocol_conformance(self):
+        loader = ArrayChunkLoader(_data(), chunk_size=7)
+        assert isinstance(loader, ChunkedLoader)
+        assert loader.n_rows == N_ROWS
+        assert loader.n_features == N_VISIBLE
+
+    def test_reiterable(self):
+        loader = ArrayChunkLoader(_data(), chunk_size=7)
+        first = [c.copy() for c in loader.iter_chunks()]
+        second = list(loader.iter_chunks())
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_sparse_chunks_stay_sparse(self):
+        loader = ArrayChunkLoader(_data(sparse=True), chunk_size=7)
+        assert all(sp.issparse(c) for c in loader.iter_chunks())
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ArrayChunkLoader(_data(), chunk_size=0)
+        with pytest.raises(ValidationError):
+            ArrayChunkLoader(np.zeros(10), chunk_size=2)
+
+
+class TestPCDPartialFitBitIdentity:
+    @pytest.mark.parametrize("persistent", [True, False])
+    @pytest.mark.parametrize("sparse", [False, True], ids=["dense", "csr"])
+    def test_partial_fit_stream_matches_one_shot_train(self, persistent, sparse):
+        data = _data(sparse=sparse)
+        rbm_stream = BernoulliRBM(N_VISIBLE, N_HIDDEN, rng=0)
+        rbm_train = BernoulliRBM(N_VISIBLE, N_HIDDEN, rng=0)
+
+        streamer = PCDTrainer(
+            n_particles=6, batch_size=BATCH, persistent=persistent, rng=1
+        )
+        for batch in minibatches(data, BATCH):
+            streamer.partial_fit(rbm_stream, batch)
+
+        PCDTrainer(
+            n_particles=6, batch_size=BATCH, persistent=persistent, rng=1
+        ).train(rbm_train, data, epochs=1, shuffle=False)
+        _assert_params_equal(rbm_stream, rbm_train)
+
+    def test_particles_carry_across_calls(self):
+        data = _data()
+        trainer = PCDTrainer(n_particles=6, batch_size=BATCH, rng=1)
+        rbm = BernoulliRBM(N_VISIBLE, N_HIDDEN, rng=0)
+        trainer.partial_fit(rbm, data[:BATCH])
+        first = trainer.particles
+        trainer.partial_fit(rbm, data[BATCH : 2 * BATCH])
+        assert trainer.particles.shape == first.shape
+
+
+class TestStreamingSpecKnobs:
+    @pytest.mark.parametrize("kind", ["cd", "bgf"])
+    def test_streaming_is_gs_only(self, kind):
+        with pytest.raises(ValidationError):
+            TrainerSpec(kind=kind, learning_rate=0.1, streaming=True)
+
+    def test_stream_chunk_size_requires_streaming(self):
+        with pytest.raises(ValidationError):
+            TrainerSpec.gs(0.1, stream_chunk_size=32)
+
+    def test_stream_chunk_size_validated(self):
+        with pytest.raises(ValidationError):
+            TrainerSpec.gs(0.1, streaming=True, stream_chunk_size=0)
+        with pytest.raises(ValidationError):
+            TrainerSpec.gs(0.1, streaming=True, stream_chunk_size="many")
+
+    def test_sparse_visible_rejected_on_bgf(self):
+        with pytest.raises(ValidationError):
+            TrainerSpec(kind="bgf", learning_rate=0.1, sparse_visible=True)
+        # ... but allowed on the software CD trainer's data-side kernels.
+        assert TrainerSpec(kind="cd", learning_rate=0.1, sparse_visible=True).sparse_visible
+
+    def test_knobs_round_trip(self):
+        spec = TrainerSpec.gs(0.1, streaming=True, stream_chunk_size=64, sparse_visible=True)
+        assert spec.streaming and spec.stream_chunk_size == 64 and spec.sparse_visible
+        trainer = GibbsSamplerTrainer(spec=spec, rng=0)
+        assert trainer.streaming and trainer.stream_chunk_size == 64
+        assert trainer.sparse_visible

@@ -103,3 +103,74 @@ class TestRBMAnomalyDetector:
         detector = RBMAnomalyDetector(n_hidden=8, epochs=3, rng=0).fit(tiny_fraud_dataset)
         with pytest.raises(ValidationError):
             detector.anomaly_scores(np.zeros((5, 10)))
+
+
+@pytest.mark.sparse
+class TestSparseEncodedPipelines:
+    """Sparse-vs-dense pinning of the one-hot encoded eval pipelines."""
+
+    def test_recommender_sparse_requires_onehot(self):
+        with pytest.raises(ValidationError):
+            RBMRecommender(encoding="mean", sparse=True)
+        with pytest.raises(ValidationError):
+            RBMRecommender(encoding="nonsense")
+
+    def test_recommender_onehot_predictions_in_range(self, tiny_ratings_dataset):
+        recommender = RBMRecommender(
+            n_hidden=12, epochs=5, encoding="onehot", sparse=True, rng=0
+        ).fit(tiny_ratings_dataset)
+        predictions = recommender.predict_matrix()
+        assert predictions.shape == (
+            tiny_ratings_dataset.n_users,
+            tiny_ratings_dataset.n_items,
+        )
+        assert predictions.min() >= 1.0
+        assert predictions.max() <= tiny_ratings_dataset.rating_levels
+
+    def test_recommender_sparse_matches_dense(self, tiny_ratings_dataset):
+        predictions = [
+            RBMRecommender(
+                n_hidden=12, epochs=5, encoding="onehot", sparse=sparse, rng=0
+            )
+            .fit(tiny_ratings_dataset)
+            .predict_matrix()
+            for sparse in (True, False)
+        ]
+        np.testing.assert_allclose(predictions[0], predictions[1], atol=1e-8)
+
+    def test_detector_sparse_requires_onehot(self):
+        with pytest.raises(ValidationError):
+            RBMAnomalyDetector(encoding="direct", sparse=True)
+        with pytest.raises(ValidationError):
+            RBMAnomalyDetector(encoding="nonsense")
+        with pytest.raises(ValidationError):
+            RBMAnomalyDetector(encoding="onehot", n_bins=1)
+
+    @pytest.mark.parametrize("score_method", ["reconstruction", "free_energy"])
+    def test_detector_sparse_matches_dense(self, tiny_fraud_dataset, score_method):
+        scores = [
+            RBMAnomalyDetector(
+                n_hidden=8,
+                epochs=5,
+                encoding="onehot",
+                n_bins=8,
+                sparse=sparse,
+                score_method=score_method,
+                rng=0,
+            )
+            .fit(tiny_fraud_dataset)
+            .anomaly_scores(tiny_fraud_dataset.test_x)
+            for sparse in (True, False)
+        ]
+        np.testing.assert_allclose(scores[0], scores[1], atol=1e-8)
+
+    def test_detector_onehot_takes_raw_features(self, tiny_fraud_dataset):
+        detector = RBMAnomalyDetector(
+            n_hidden=8, epochs=5, encoding="onehot", n_bins=8, sparse=True, rng=0
+        ).fit(tiny_fraud_dataset)
+        scores = detector.anomaly_scores(tiny_fraud_dataset.test_x)
+        assert scores.shape == (tiny_fraud_dataset.test_x.shape[0],)
+        auc = detector.evaluate_auc(tiny_fraud_dataset)
+        assert 0.0 <= auc <= 1.0
+        with pytest.raises(ValidationError):
+            detector.anomaly_scores(np.zeros((5, 10)))

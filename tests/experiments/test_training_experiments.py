@@ -20,6 +20,7 @@ from repro.experiments.fig11_bias_kl import (
     run_figure11,
 )
 from repro.experiments.table4_accuracy import format_table4, run_table4
+from repro.utils.validation import ValidationError
 
 
 @pytest.fixture(scope="module")
@@ -163,6 +164,44 @@ class TestFigure9:
     def test_formatting(self, result):
         assert "baseline_mae" in format_figure9(result)
 
+    def test_engine_validated(self):
+        with pytest.raises(ValidationError):
+            run_figure9(engine="tpu")
+
+    def test_sparse_streaming_require_gs_engine(self):
+        with pytest.raises(ValidationError):
+            run_figure9(engine="bgf", sparse=True)
+        with pytest.raises(ValidationError):
+            run_figure9(engine="bgf", streaming=True)
+
+
+@pytest.mark.sparse
+class TestFigure9Streamed:
+    """The registry's streamed MovieLens variant at CI scale."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure9(
+            noise_configs=(NoiseConfig(0.0, 0.0),),
+            epochs=12,
+            engine="gs",
+            encoding="onehot",
+            sparse=True,
+            streaming=True,
+            chunk_size=16,
+            seed=0,
+        )
+
+    def test_metadata_records_the_streamed_configuration(self, result):
+        assert result.metadata["engine"] == "gs"
+        assert result.metadata["encoding"] == "onehot"
+        assert result.metadata["sparse"] is True
+        assert result.metadata["streaming"] is True
+
+    def test_mae_beats_baseline(self, result):
+        for row in result.rows:
+            assert row["mae"] < row["baseline_mae"] * 1.05
+
 
 class TestFigure10:
     @pytest.fixture(scope="class")
@@ -188,6 +227,40 @@ class TestFigure10:
 
     def test_formatting(self, result):
         assert "auc" in format_figure10(result)
+
+    def test_sparse_streaming_require_gs_engine(self):
+        with pytest.raises(ValidationError):
+            run_figure10(engine="bgf", sparse=True)
+        with pytest.raises(ValidationError):
+            run_figure10(engine="nonsense")
+
+
+@pytest.mark.sparse
+class TestFigure10Streamed:
+    """The registry's streamed fraud variant at CI scale."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure10(
+            noise_configs=(NoiseConfig(0.0, 0.0),),
+            epochs=8,
+            engine="gs",
+            encoding="onehot",
+            n_bins=8,
+            sparse=True,
+            streaming=True,
+            chunk_size=64,
+            seed=0,
+        )
+
+    def test_auc_stays_high(self, result):
+        for config, auc in auc_by_config(result).items():
+            assert auc > 0.85, config
+
+    def test_metadata_records_the_streamed_configuration(self, result):
+        assert result.metadata["engine"] == "gs"
+        assert result.metadata["sparse"] is True
+        assert result.metadata["streaming"] is True
 
 
 class TestFigure11:

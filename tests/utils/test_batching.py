@@ -2,8 +2,15 @@
 
 import numpy as np
 import pytest
+from scipy import sparse as sp
 
-from repro.utils.batching import minibatches, shuffle_arrays, train_test_split
+from repro.utils.batching import (
+    iter_chunks,
+    minibatches,
+    rebatch,
+    shuffle_arrays,
+    train_test_split,
+)
 
 
 class TestMinibatches:
@@ -53,6 +60,88 @@ class TestMinibatches:
         with pytest.raises(ValueError):
             list(minibatches(np.zeros((5, 2)), 0))
 
+    def test_oversized_batch_yields_single_full_batch(self):
+        data = np.arange(12).reshape(6, 2)
+        batches = list(minibatches(data, 100))
+        assert len(batches) == 1
+        np.testing.assert_array_equal(batches[0], data)
+
+    def test_oversized_batch_with_drop_last_yields_nothing(self):
+        data = np.arange(12).reshape(6, 2)
+        assert list(minibatches(data, 100, drop_last=True)) == []
+
+    def test_sparse_batches_stay_sparse_and_match_dense(self):
+        dense = np.where(np.random.default_rng(0).random((11, 4)) < 0.3, 1.0, 0.0)
+        csr = sp.csr_matrix(dense)
+        sparse_batches = list(minibatches(csr, 4))
+        dense_batches = list(minibatches(dense, 4))
+        assert len(sparse_batches) == len(dense_batches)
+        for sb, db in zip(sparse_batches, dense_batches):
+            assert sp.issparse(sb)
+            np.testing.assert_array_equal(sb.toarray(), db)
+
+    def test_sparse_with_labels(self):
+        csr = sp.csr_matrix(np.eye(7))
+        labels = np.arange(7)
+        for batch_x, batch_y in minibatches(csr, 3, labels=labels):
+            assert sp.issparse(batch_x)
+            assert batch_x.shape[0] == batch_y.shape[0]
+
+
+class TestIterChunks:
+    def test_chunk_sizes_and_order(self):
+        data = np.arange(20).reshape(10, 2)
+        chunks = list(iter_chunks(data, 4))
+        assert [c.shape[0] for c in chunks] == [4, 4, 2]
+        np.testing.assert_array_equal(np.concatenate(chunks), data)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(np.zeros((4, 2)), 0))
+
+    def test_sparse_chunks_stay_sparse(self):
+        csr = sp.csr_matrix(np.eye(9))
+        chunks = list(iter_chunks(csr, 4))
+        assert all(sp.issparse(c) for c in chunks)
+        np.testing.assert_array_equal(sp.vstack(chunks).toarray(), np.eye(9))
+
+
+class TestRebatch:
+    @pytest.mark.parametrize("chunk_size", [1, 3, 5, 8, 100])
+    @pytest.mark.parametrize("batch_size", [1, 4, 7])
+    def test_round_trip_matches_minibatches_dense(self, chunk_size, batch_size):
+        data = np.arange(34).reshape(17, 2).astype(float)
+        rebatched = list(rebatch(iter_chunks(data, chunk_size), batch_size))
+        direct = list(minibatches(data, batch_size))
+        assert len(rebatched) == len(direct)
+        for rb, db in zip(rebatched, direct):
+            np.testing.assert_array_equal(rb, db)
+
+    @pytest.mark.parametrize("chunk_size", [2, 5, 9])
+    def test_round_trip_matches_minibatches_sparse(self, chunk_size):
+        dense = np.where(np.random.default_rng(1).random((13, 3)) < 0.4, 1.0, 0.0)
+        csr = sp.csr_matrix(dense)
+        rebatched = list(rebatch(iter_chunks(csr, chunk_size), 4))
+        direct = list(minibatches(dense, 4))
+        assert len(rebatched) == len(direct)
+        for rb, db in zip(rebatched, direct):
+            assert sp.issparse(rb)
+            np.testing.assert_array_equal(rb.toarray(), db)
+
+    def test_drop_last(self):
+        data = np.arange(20).reshape(10, 2)
+        sizes = [b.shape[0] for b in rebatch(iter_chunks(data, 3), 4, drop_last=True)]
+        assert sizes == [4, 4]
+
+    def test_mixed_sparse_dense_stream_rejected(self):
+        stream = [np.zeros((3, 2)), sp.csr_matrix(np.zeros((3, 2)))]
+        with pytest.raises(ValueError):
+            list(rebatch(stream, 4))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(rebatch(iter_chunks(np.zeros((4, 2)), 2), 0))
+
 
 class TestShuffleArrays:
     def test_same_permutation_applied(self):
@@ -73,6 +162,18 @@ class TestShuffleArrays:
     def test_empty_call_rejected(self):
         with pytest.raises(ValueError):
             shuffle_arrays()
+
+    def test_fixed_seed_is_deterministic(self):
+        x = np.arange(25)
+        (a,) = shuffle_arrays(x, rng=7)
+        (b,) = shuffle_arrays(x, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        x = np.arange(50)
+        (a,) = shuffle_arrays(x, rng=0)
+        (b,) = shuffle_arrays(x, rng=1)
+        assert not np.array_equal(a, b)
 
 
 class TestTrainTestSplit:
@@ -104,3 +205,22 @@ class TestTrainTestSplit:
         a_train, _ = train_test_split(data, test_fraction=0.2, rng=5)
         b_train, _ = train_test_split(data, test_fraction=0.2, rng=5)
         np.testing.assert_array_equal(a_train, b_train)
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.1, 1.5])
+    def test_fraction_outside_open_interval_rejected(self, fraction):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((10, 1)), test_fraction=fraction)
+
+    def test_tiny_fraction_still_yields_one_test_row(self):
+        data = np.arange(50).reshape(50, 1)
+        train, test = train_test_split(data, test_fraction=0.001, rng=0)
+        assert test.shape[0] == 1
+        assert train.shape[0] == 49
+
+    def test_fraction_that_leaves_no_training_rows_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((2, 1)), test_fraction=0.9)
+
+    def test_misaligned_labels_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((10, 1)), np.zeros(9), test_fraction=0.2)
