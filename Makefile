@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-workers test-sparse run-ci bench bench-compare bench-compare-ci artifacts
+.PHONY: test test-workers test-sparse run-ci serve-smoke bench bench-compare bench-compare-ci artifacts
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,15 @@ run-ci:
 	$(PYTHON) -m repro run --list
 	$(PYTHON) -m repro run table2 figure5
 	$(PYTHON) -m repro run table3 --preset ci --set n_nodes=800
+
+## Serving smoke leg of the tier-1 workflow: train a small figure9 model
+## through the CLI, persist it as a versioned artifact bundle, reload it in
+## a fresh process, and drive the micro-batched scoring service end to end
+## (--self-test verifies the coalesced scores against direct scoring and
+## reports per-request p50/p99 latency).
+serve-smoke:
+	$(PYTHON) -m repro run figure9 --set epochs=3 --save-model /tmp/repro-serve-smoke
+	$(PYTHON) -m repro serve /tmp/repro-serve-smoke --self-test
 
 ## Multicore leg of the CI matrix: the FULL tier-1 suite with the
 ## REPRO_WORKERS default set, so every eligible settle/AIS call runs

@@ -6,6 +6,9 @@ Usage::
     python -m repro run table2 figure5            # several artifacts, CI scale
     python -m repro run --list                    # what can I run?
     python -m repro list                          # same listing
+    python -m repro run figure9 --save-model model/fig9   # train + persist
+    python -m repro serve model/fig9              # micro-batched scoring TCP
+    python -m repro serve model/fig9 --self-test  # in-process service check
 
 ``--set key=value`` overrides route through the typed spec layer: compute
 knobs (``dtype``/``workers``/``fast_path``) land in the run's
@@ -123,9 +126,95 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true",
         help="list registered experiments and presets, then exit",
     )
+    run_parser.add_argument(
+        "--save-model", dest="save_model", metavar="PATH", default=None,
+        help="persist the experiment's trained model as a serving artifact "
+             "(<PATH>.npz + <PATH>.json); the experiment must support "
+             "keep_model (figure9/figure10) and exactly one may be named",
+    )
 
     subparsers.add_parser("list", help="list registered experiments and presets")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve a saved model artifact over micro-batched TCP"
+    )
+    serve_parser.add_argument(
+        "artifact", metavar="ARTIFACT",
+        help="artifact bundle stem (or its .npz/.json path) from --save-model"
+             " / repro.serve.save_model",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8787)
+    serve_parser.add_argument(
+        "--max-batch", dest="max_batch", type=int, default=64,
+        help="maximum rows per coalesced scoring call (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--max-delay-ms", dest="max_delay_ms", type=float, default=2.0,
+        help="how long a batch lingers for stragglers (default: 2 ms)",
+    )
+    serve_parser.add_argument(
+        "--self-test", dest="self_test", action="store_true",
+        help="run the in-process service check (concurrent requests, "
+             "bit-identity vs direct scoring, p50/p99 report) and exit "
+             "instead of binding a socket",
+    )
     return parser
+
+
+def _run_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import load_model, run_self_test, serve_forever
+
+    try:
+        artifact = load_model(args.artifact)
+    except ValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.self_test:
+        try:
+            report = run_self_test(artifact)
+        except ValidationError as error:
+            print(f"error: self-test failed: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"serve self-test OK: kind={report['kind']} "
+            f"n_features={report['n_features']} "
+            f"verified={report['verified_requests']} requests in "
+            f"{report['coalesced']['batches']} coalesced batches "
+            f"(max {report['coalesced']['max_batch_rows']} rows) | "
+            f"p50={report['p50_ms']:.2f}ms p99={report['p99_ms']:.2f}ms "
+            f"{report['req_per_s']:.0f} req/s"
+        )
+        return 0
+
+    def _ready(host: str, port: int) -> None:
+        print(
+            f"serving {artifact.kind} artifact {artifact.path} on "
+            f"{host}:{port} (newline-delimited JSON; "
+            f"max_batch={args.max_batch}, linger={args.max_delay_ms}ms)",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            serve_forever(
+                artifact,
+                host=args.host,
+                port=args.port,
+                max_batch_size=args.max_batch,
+                max_delay_s=args.max_delay_ms / 1e3,
+                ready_callback=_ready,
+            )
+        )
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    except ValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -135,6 +224,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list":
         _print_listing(sys.stdout)
         return 0
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command != "run":
         parser.print_help()
         return 2
@@ -143,6 +234,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if not args.experiments:
         parser.error("run needs at least one experiment name (or --list)")
+    if args.save_model is not None and len(args.experiments) != 1:
+        parser.error("--save-model requires exactly one experiment name")
 
     try:
         specs = []
@@ -152,6 +245,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             overrides = dict(args.overrides)
             if args.seed is not None:
                 overrides["seed"] = args.seed
+            if args.save_model is not None:
+                if "keep_model" not in experiment.accepts:
+                    raise ValidationError(
+                        f"experiment {experiment.name!r} does not support"
+                        " --save-model (no keep_model knob); model-producing"
+                        " experiments: figure9, figure10"
+                    )
+                overrides["keep_model"] = True
             if overrides:
                 # Any override — --set or --seed — flips the recorded
                 # preset label to "custom": the run no longer is the preset.
@@ -177,6 +278,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"(preset {spec.preset}, took {elapsed:.1f}s) ==="
         )
         print(experiment.formatter(result))
+        if args.save_model is not None:
+            from repro.config.specs import RunSpec
+            from repro.serve import save_model
+
+            model = result.artifacts.get("model")
+            if model is None:
+                print(
+                    f"error: experiment {experiment.name!r} returned no"
+                    " trained model to save",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                npz_path = save_model(
+                    model,
+                    args.save_model,
+                    run_spec=RunSpec.from_dict(result.metadata["run_spec"])
+                    if "run_spec" in result.metadata
+                    else None,
+                )
+            except ValidationError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            print(f"saved {experiment.name} model artifact to {npz_path}")
     return 0
 
 

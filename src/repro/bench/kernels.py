@@ -12,12 +12,15 @@ paper's 784x500 MNIST scale.  The JSON this writes is the evidence file the
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import platform
 import re
 import statistics
+import threading
 import time
+import weakref
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
@@ -27,6 +30,7 @@ from repro.config import ComputeSpec, EstimatorSpec, SubstrateSpec, TrainerSpec
 from repro.core import BGFTrainer, GibbsSamplerMachine, GibbsSamplerTrainer
 from repro.ising import BipartiteIsingSubstrate
 from repro.rbm import AISEstimator, BernoulliRBM, CDTrainer
+from repro.serve import MicroBatchScoringService, measure_latency
 from repro.utils.numerics import safe_sparse_dot
 
 
@@ -370,6 +374,71 @@ def _gs_epoch_sparse_kernel(data_dense: np.ndarray, data_csr, fast: bool):
     return kernel
 
 
+def _serve_scorer(n_visible: int, n_hidden: int):
+    """The frozen serving workload: free-energy scoring on a 784x500 RBM."""
+    rbm = BernoulliRBM(n_visible, n_hidden, rng=0)
+    rng = np.random.default_rng(1)
+    rbm.set_parameters(
+        rng.normal(0, 0.05, (n_visible, n_hidden)),
+        rng.normal(0, 0.1, n_visible),
+        rng.normal(0, 0.1, n_hidden),
+    )
+    return rbm.score_samples
+
+
+def _serve_request_rows(n_rows: int, n_visible: int, rng) -> np.ndarray:
+    return (rng.random((n_rows, n_visible)) < 0.3).astype(float)
+
+
+def _serve_wave_kernel(n_visible: int, n_hidden: int, concurrency: int, fast: bool):
+    """One serving wave of ``concurrency`` concurrent 1-row score requests.
+
+    ``fast`` drives the wave through a long-lived
+    :class:`~repro.serve.MicroBatchScoringService` (its own background
+    event loop, so the per-call cost is the coalesced wave itself, not
+    loop setup); the baseline answers the same requests the way a naive
+    serving loop would — one scorer call per request.  The ratio is the
+    micro-batching win at that concurrency: ~coalesce-free overhead at
+    c=1 (one request has nothing to batch with, so the async front end
+    is pure cost), growing with c as p gemv calls collapse into one gemm.
+    """
+    scorer = _serve_scorer(n_visible, n_hidden)
+    rng = np.random.default_rng(2)
+    requests = [
+        _serve_request_rows(1, n_visible, rng) for _ in range(concurrency)
+    ]
+
+    if not fast:
+        def kernel():
+            for block in requests:
+                scorer(block)
+
+        return kernel
+
+    loop = asyncio.new_event_loop()
+    threading.Thread(target=loop.run_forever, daemon=True).start()
+    service = MicroBatchScoringService(
+        scorer, n_features=n_visible, max_batch_size=concurrency
+    )
+    asyncio.run_coroutine_threadsafe(service.start(), loop).result()
+
+    async def wave():
+        await asyncio.gather(*(service.submit(block) for block in requests))
+
+    def kernel():
+        asyncio.run_coroutine_threadsafe(wave(), loop).result()
+
+    def shutdown():
+        asyncio.run_coroutine_threadsafe(service.stop(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+
+    # _median_seconds has no teardown hook, so the loop thread winds down
+    # when the kernel closure is collected (else the abandoned worker task
+    # warns at GC time).
+    weakref.finalize(kernel, shutdown)
+    return kernel
+
+
 def _ais_kernel(fast: bool, n_visible: int = 49, n_hidden: int = 32):
     """One AIS log-Z sweep: vectorized beta loop vs the legacy loop."""
     rbm = BernoulliRBM(n_visible, n_hidden, rng=0)
@@ -491,6 +560,15 @@ def run_benchmarks(
         kernels["gs_training_epoch_784x500_sparse"] = lambda fast: (
             _gs_epoch_sparse_kernel(sparse_dense, sparse_csr, fast)
         )
+        # Serving entries: legacy = one scorer call per request (the naive
+        # serving loop), fast = the same wave coalesced by the micro-batch
+        # service.  c1/c16/c64 are the ISSUE-7 report points; each row also
+        # carries p50_ms/p99_ms/req_per_s from repro.serve.measure_latency
+        # (extra keys the compare gate ignores).
+        for concurrency in (1, 16, 64):
+            kernels[f"serve_microbatch_scoring_c{concurrency}_784x500"] = (
+                lambda fast, c=concurrency: _serve_wave_kernel(784, 500, c, fast)
+            )
 
     if only is not None:
         kernels = {name: make for name, make in kernels.items() if only in name}
@@ -528,7 +606,13 @@ def run_benchmarks(
                 "kernel (clamp + hidden field) up to the Bernoulli-draw "
                 "boundary both legs share, the gradient entry times "
                 "v_pos.T @ h_pos, and the epoch entry a full GS training "
-                "epoch including the dense negative phase"
+                "epoch including the dense negative phase; for "
+                "serve_microbatch entries legacy = one scorer call per "
+                "request (the naive serving loop) and fast = the same wave "
+                "of concurrent 1-row requests coalesced by the micro-batch "
+                "scoring service — their p50_ms/p99_ms/req_per_s keys are "
+                "per-request latency/throughput of the coalesced path from "
+                "repro.serve.measure_latency, not gate inputs"
             ),
         },
         "kernels": {},
@@ -543,6 +627,24 @@ def run_benchmarks(
             "fast_median_s": fast_s,
             "speedup": legacy_s / fast_s if fast_s > 0 else float("inf"),
         }
+    # Serving latency/throughput extras — measured once per entry on the
+    # coalesced path; merged after the timing loop so the gate's keys above
+    # stay the timed legacy/fast pair.
+    for name, row in results["kernels"].items():
+        match = re.match(r"serve_microbatch_scoring_c(\d+)_", name)
+        if not match:
+            continue
+        rng = np.random.default_rng(5)
+        latency = measure_latency(
+            _serve_scorer(784, 500),
+            lambda n: _serve_request_rows(n, 784, rng),
+            concurrency=int(match.group(1)),
+        )
+        row.update(
+            p50_ms=latency["p50_ms"],
+            p99_ms=latency["p99_ms"],
+            req_per_s=latency["req_per_s"],
+        )
     annotate_oversubscription(results)
     return results
 

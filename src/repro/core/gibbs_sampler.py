@@ -388,6 +388,31 @@ class GibbsSamplerTrainer:
         """Current hidden states of the persistent chains (copies), or None."""
         return None if self._chains_h is None else self._chains_h.copy()
 
+    def restore_chain_states(self, chains_h: np.ndarray) -> None:
+        """Adopt saved persistent-chain states (an artifact's ``chain_state``).
+
+        Subsequent ``train``/``partial_fit`` calls continue from these
+        hidden chain states instead of re-initializing (persistent mode
+        only — fresh-chain CD has no state to restore).
+        """
+        if not self.persistent:
+            raise ValidationError(
+                "restore_chain_states requires persistent=True (fresh-chain"
+                " CD re-seeds its chains every minibatch)"
+            )
+        chains_h = np.asarray(chains_h, dtype=float)
+        if chains_h.ndim != 2:
+            raise ValidationError(
+                f"chain states must be 2-D (chains, n_hidden), got"
+                f" ndim={chains_h.ndim}"
+            )
+        if chains_h.shape[0] != self.chains:
+            raise ValidationError(
+                f"got {chains_h.shape[0]} chains; this trainer runs"
+                f" chains={self.chains}"
+            )
+        self._chains_h = chains_h.copy()
+
     def _ensure_machine(self, rbm: BernoulliRBM) -> GibbsSamplerMachine:
         if self.machine is None or (
             self.machine.n_visible,

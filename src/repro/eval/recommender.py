@@ -91,14 +91,29 @@ class RBMRecommender:
         self.rbm: Optional[BernoulliRBM] = None
         self._rating_levels: int = 5
         self._global_mean: float = 3.0
+        self._n_users: int = 0
 
     # ------------------------------------------------------------------ #
-    def _encode(self, ratings: np.ndarray, rating_levels: int) -> np.ndarray:
-        """Item-major [0, 1] matrix with unobserved entries mean-imputed."""
-        ratings = np.asarray(ratings, dtype=float)
-        item_major = ratings.T  # (n_items, n_users)
-        observed = item_major > 0
-        scaled = np.where(observed, (item_major - 1) / (rating_levels - 1), 0.0)
+    def _encode_items(self, item_rows: np.ndarray):
+        """Raw item-major rating rows -> the model's visible representation.
+
+        ``item_rows`` is ``(n_rows, n_users)`` with integer ratings in
+        ``1..rating_levels`` and 0 marking unobserved entries.  The mean
+        encoding imputes each row's unobserved entries with that row's own
+        observed mean, so encoding a serving batch needs nothing beyond the
+        batch itself — the scoring path is stateless w.r.t. training data.
+        """
+        item_rows = np.asarray(item_rows, dtype=float)
+        if self.encoding == "onehot":
+            # encode_ratings_onehot takes the user-major orientation and
+            # emits item-major one-hot blocks (n_rows, n_users * K).
+            return encode_ratings_onehot(
+                item_rows.T, self._rating_levels, sparse=self.sparse
+            )
+        observed = item_rows > 0
+        scaled = np.where(
+            observed, (item_rows - 1) / (self._rating_levels - 1), 0.0
+        )
         item_means = np.where(
             observed.sum(axis=1, keepdims=True) > 0,
             scaled.sum(axis=1, keepdims=True)
@@ -109,46 +124,84 @@ class RBMRecommender:
 
     def fit(self, dataset: RatingsDataset) -> "RBMRecommender":
         """Train the underlying RBM on the training ratings."""
-        self._rating_levels = dataset.rating_levels
         observed = dataset.train_ratings > 0
-        if observed.any():
-            self._global_mean = float(dataset.train_ratings[observed].mean())
-        if self.encoding == "onehot":
-            data = encode_ratings_onehot(
-                dataset.train_ratings, dataset.rating_levels, sparse=self.sparse
+        if not observed.any():
+            raise ValidationError(
+                "train_ratings contains no observed entries (every rating is 0 ="
+                " unobserved); the recommender cannot estimate the global mean"
+                " or any item statistics from an all-unobserved training matrix"
             )
-            n_visible = dataset.n_users * dataset.rating_levels
-        else:
-            data = self._encode(dataset.train_ratings, dataset.rating_levels)
-            n_visible = dataset.n_users
+        self._rating_levels = dataset.rating_levels
+        self._n_users = dataset.n_users
+        self._global_mean = float(dataset.train_ratings[observed].mean())
+        data = self._encode_items(np.asarray(dataset.train_ratings, dtype=float).T)
         self.rbm = BernoulliRBM(
-            n_visible=n_visible, n_hidden=self.n_hidden, rng=self._rng
+            n_visible=data.shape[1], n_hidden=self.n_hidden, rng=self._rng
         )
         self.trainer.train(self.rbm, data, epochs=self.epochs)
-        self._train_data = data
         return self
 
-    def predict_matrix(self) -> np.ndarray:
-        """Predicted full rating matrix of shape (n_users, n_items)."""
+    def predict_ratings(self, item_rows: np.ndarray) -> np.ndarray:
+        """Predicted ratings for raw item-major rating rows.
+
+        The frozen scoring entry point: ``item_rows`` is ``(n_rows,
+        n_users)`` with ratings in ``1..rating_levels`` and 0 marking
+        unobserved entries; returns the same shape filled with predicted
+        ratings in ``[1, rating_levels]``.  Uses only the fitted RBM weights
+        plus the rows themselves — no training data is retained, so a model
+        loaded from an artifact serves this without refitting.
+        """
         if self.rbm is None:
-            raise ValidationError("fit must be called before predict_matrix")
-        recon = self.rbm.reconstruct(self._train_data)  # dense even for CSR input
+            raise ValidationError("fit must be called before predict_ratings")
+        item_rows = np.asarray(item_rows, dtype=float)
+        if item_rows.ndim == 1:
+            item_rows = item_rows[np.newaxis, :]
+        if item_rows.ndim != 2:
+            raise ValidationError(
+                f"item_rows must be 2-D (n_rows, n_users), got ndim={item_rows.ndim}"
+            )
+        if item_rows.shape[1] != self._n_users:
+            raise ValidationError(
+                f"item_rows has {item_rows.shape[1]} user columns; the model"
+                f" was fitted on {self._n_users} users"
+            )
+        recon = self.rbm.reconstruct(self._encode_items(item_rows))
         if self.encoding == "onehot":
             levels = self._rating_levels
-            # (n_items, n_users * K) -> per-user softmax blocks: the predicted
+            # (n_rows, n_users * K) -> per-user softmax blocks: the predicted
             # rating is the probability-weighted mean level (Salakhutdinov
             # et al. 2007, Eq. 2), renormalized since reconstruction
             # probabilities need not sum to one across a block.
             probs = recon.reshape(recon.shape[0], -1, levels)
             scale = np.arange(1, levels + 1, dtype=float)
             expected = probs @ scale / np.maximum(probs.sum(axis=2), 1e-12)
-            return np.clip(expected.T, 1.0, levels)
+            return np.clip(expected, 1.0, levels)
         predicted = 1.0 + recon * (self._rating_levels - 1)
-        return np.clip(predicted.T, 1.0, self._rating_levels)
+        return np.clip(predicted, 1.0, self._rating_levels)
+
+    def predict_matrix(self, ratings: Optional[np.ndarray] = None) -> np.ndarray:
+        """Predicted full rating matrix of shape (n_users, n_items).
+
+        ``ratings`` is the observed user-major matrix to reconstruct from
+        (typically ``dataset.train_ratings``) — the recommender no longer
+        pins the training matrix in memory, so scoring takes it explicitly.
+        """
+        if ratings is None:
+            raise ValidationError(
+                "predict_matrix requires the observed rating matrix (pass"
+                " dataset.train_ratings); the fitted model does not retain"
+                " its training data"
+            )
+        ratings = np.asarray(ratings, dtype=float)
+        if ratings.ndim != 2:
+            raise ValidationError(
+                f"ratings must be 2-D (n_users, n_items), got ndim={ratings.ndim}"
+            )
+        return self.predict_ratings(ratings.T).T
 
     def evaluate_mae(self, dataset: RatingsDataset) -> float:
         """MAE over the held-out observed ratings of ``dataset.test_ratings``."""
-        predictions = self.predict_matrix()
+        predictions = self.predict_matrix(dataset.train_ratings)
         mask = dataset.test_ratings > 0
         if not mask.any():
             raise ValidationError("test ratings contain no observed entries")

@@ -22,12 +22,17 @@ class ExperimentResult:
         List of row dicts; every row has the same keys (the columns).
     metadata:
         Run parameters (scale, seed, epochs, ...), for the record.
+    artifacts:
+        Non-tabular run products (e.g. the trained estimator when a
+        runner is asked to ``keep_model``) — never serialized into row
+        output; the CLI's ``--save-model`` reads ``artifacts["model"]``.
     """
 
     name: str
     description: str
     rows: List[Dict[str, Any]] = field(default_factory=list)
     metadata: Dict[str, Any] = field(default_factory=dict)
+    artifacts: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def columns(self) -> List[str]:

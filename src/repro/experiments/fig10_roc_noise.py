@@ -36,6 +36,7 @@ def run_figure10(
     sparse: bool = False,
     streaming: bool = False,
     chunk_size: Optional[int] = None,
+    keep_model: bool = False,
     seed: int = 0,
 ) -> ExperimentResult:
     """Train the anomaly detector under each noise configuration.
@@ -50,6 +51,10 @@ def run_figure10(
     (``encoding="onehot"``, ``n_bins``, ``sparse=True``) and chunked
     streaming (``streaming=True`` with an optional ``chunk_size``) — the
     streamed fraud variant exposed by the run registry.
+
+    ``keep_model=True`` stores the detector trained under the first
+    (ideal) noise configuration in ``result.artifacts["model"]`` so the
+    CLI's ``--save-model`` can persist it for serving.
     """
     if engine not in ("bgf", "gs"):
         raise ValidationError(f"engine must be 'bgf' or 'gs', got {engine!r}")
@@ -62,6 +67,7 @@ def run_figure10(
     dataset = load_benchmark_dataset("anomaly", scale=scale, seed=seed)
 
     rows: List[Dict[str, object]] = []
+    kept_model: Optional[RBMAnomalyDetector] = None
     fpr_grid = np.linspace(0.0, 1.0, roc_points)
     for config_index, noise in enumerate(noise_configs):
         rngs = spawn_rngs(seed + config_index, 2)
@@ -96,6 +102,8 @@ def run_figure10(
             rng=rngs[1],
         ).fit(dataset)
         auc = detector.evaluate_auc(dataset)
+        if keep_model and kept_model is None:
+            kept_model = detector
         fpr, tpr, _ = detector.evaluate_roc(dataset)
         tpr_grid = np.interp(fpr_grid, fpr, tpr)
         rows.append(
@@ -124,6 +132,7 @@ def run_figure10(
             "sparse": sparse,
             "streaming": streaming,
         },
+        artifacts={} if kept_model is None else {"model": kept_model},
     )
 
 

@@ -34,6 +34,7 @@ def run_figure9(
     sparse: bool = False,
     streaming: bool = False,
     chunk_size: Optional[int] = None,
+    keep_model: bool = False,
     seed: int = 0,
 ) -> ExperimentResult:
     """Train the recommender under each noise configuration.
@@ -44,6 +45,10 @@ def run_figure9(
     (``encoding="onehot"``, ``sparse=True``) and chunked streaming
     (``streaming=True`` with an optional ``chunk_size``) — the streamed
     MovieLens variant exposed by the run registry.
+
+    ``keep_model=True`` stores the recommender trained under the first
+    (ideal) noise configuration in ``result.artifacts["model"]`` so the
+    CLI's ``--save-model`` can persist it for serving.
     """
     if engine not in ("bgf", "gs"):
         raise ValidationError(f"engine must be 'bgf' or 'gs', got {engine!r}")
@@ -58,6 +63,7 @@ def run_figure9(
 
     rows: List[Dict[str, object]] = []
     baseline_mae: Optional[float] = None
+    kept_model: Optional[RBMRecommender] = None
     for config_index, noise in enumerate(noise_configs):
         rngs = spawn_rngs(seed + config_index, 2)
         if engine == "gs":
@@ -92,6 +98,8 @@ def run_figure9(
         mae = recommender.evaluate_mae(ratings)
         if baseline_mae is None:
             baseline_mae = recommender.baseline_mae(ratings)
+        if keep_model and kept_model is None:
+            kept_model = recommender
         rows.append(
             {
                 "noise_config": noise.label,
@@ -117,6 +125,7 @@ def run_figure9(
             "sparse": sparse,
             "streaming": streaming,
         },
+        artifacts={} if kept_model is None else {"model": kept_model},
     )
 
 

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.api.facade import run_experiment
 from repro.api.registry import experiment_names, get_experiment
 from repro.config.specs import RunSpec
+from repro.utils.deprecation import ReproDeprecationWarning
 
 
 def _select_spec(name: str, scale: str, seed: int) -> RunSpec:
@@ -96,7 +97,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "python -m repro.experiments.runner is deprecated; use "
         "`python -m repro run <experiment> [--preset paper]` (the "
         "registry-driven spec CLI)",
-        DeprecationWarning,
+        ReproDeprecationWarning,
         stacklevel=2,
     )
     run_all(args.only, scale=args.scale, seed=args.seed)

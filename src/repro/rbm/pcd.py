@@ -94,6 +94,26 @@ class PCDTrainer:
         """Current visible states of the persistent particles (or ``None``)."""
         return None if self._particles_v is None else self._particles_v.copy()
 
+    def restore_particles(self, particles: np.ndarray) -> None:
+        """Adopt a saved particle pool (e.g. an artifact's ``chain_state``).
+
+        Subsequent ``train``/``partial_fit`` calls continue from these
+        fantasy particles instead of re-initializing, so a PCD run resumed
+        from an artifact keeps its equilibrated negative-phase state.
+        """
+        particles = np.asarray(particles, dtype=float)
+        if particles.ndim != 2:
+            raise ValidationError(
+                f"particles must be 2-D (n_particles, n_visible), got"
+                f" ndim={particles.ndim}"
+            )
+        if particles.shape[0] != self.n_particles:
+            raise ValidationError(
+                f"got {particles.shape[0]} particles; this trainer runs"
+                f" n_particles={self.n_particles}"
+            )
+        self._particles_v = particles.copy()
+
     def _init_particles(self, rbm: BernoulliRBM) -> None:
         self._particles_v = (self._rng.random((self.n_particles, rbm.n_visible)) < 0.5).astype(float)
 

@@ -211,6 +211,18 @@ class BernoulliRBM:
         """Deterministic feature mapping used when stacking / classifying."""
         return self.hidden_activation_probability(v)
 
+    def score_samples(self, v: np.ndarray) -> np.ndarray:
+        """Unnormalized per-row log-probability score ``-F(v)``.
+
+        The frozen scoring entry point (sklearn's ``score_samples``
+        convention, up to the intractable log-partition constant):
+        deterministic, stateless w.r.t. training data, and defined for
+        dense or CSR visible batches — the natural quantity a serving
+        artifact exposes.  For the stochastic flip-one-bit pseudo-
+        log-likelihood proxy see :func:`repro.rbm.metrics.pseudo_log_likelihood`.
+        """
+        return -self.free_energy(v)
+
 
 @dataclass
 class TrainingHistory:

@@ -1,0 +1,40 @@
+"""Model-serving layer: artifact persistence + micro-batched scoring.
+
+``repro.serve`` is the production shell around the trained models
+(ROADMAP item 1): :func:`save_model`/:func:`load_model` persist a fitted
+estimator as a versioned ``.npz`` + JSON bundle paired with its resolved
+:class:`~repro.config.specs.RunSpec`, and
+:class:`MicroBatchScoringService` serves a loaded artifact behind an
+async front end that coalesces concurrent requests into single batched
+matmul calls (``python -m repro serve <artifact>``).
+"""
+
+from repro.serve.artifact import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ModelArtifact,
+    load_model,
+    save_model,
+)
+from repro.serve.service import (
+    MicroBatchScoringService,
+    ServiceStats,
+    measure_latency,
+    run_self_test,
+    score_batches,
+    serve_forever,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "ModelArtifact",
+    "load_model",
+    "save_model",
+    "MicroBatchScoringService",
+    "ServiceStats",
+    "measure_latency",
+    "run_self_test",
+    "score_batches",
+    "serve_forever",
+]

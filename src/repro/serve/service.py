@@ -1,0 +1,409 @@
+"""Micro-batched scoring service: coalesce concurrent requests into one matmul.
+
+The serving hot path is the same batched linear algebra the trainers use —
+scoring p rows together costs one matmul instead of p.  The
+:class:`MicroBatchScoringService` exploits that: an asyncio front end
+accepts per-request row blocks, a single batcher task drains the queue
+(waiting at most ``max_delay_s`` for stragglers, up to ``max_batch_size``
+rows), stacks the rows, runs the frozen scorer once, and fans the scores
+back out to each request's future.  Responses are bit-identical to scoring
+the coalesced batch directly; against scoring each request *alone* they
+match at float64 BLAS-reduction tolerance (a 1-row request scored solo
+takes the gemv kernel, inside a batch the gemm kernel — accumulation
+order differs at ~1e-15), the same tolerance class the fast-path kernels
+are pinned at (docs/performance.md precision policy).
+
+``serve_forever`` exposes the service over a newline-delimited-JSON TCP
+protocol (request ``{"rows": [[...], ...], "id": any}``, response
+``{"id": any, "scores": [...]}`` or ``{"id": any, "error": msg}``), and
+``run_self_test`` drives the full stack in-process — concurrent requests,
+coalescing assertions, per-request p50/p99 latency — which is what the CI
+serve-smoke job and the bench entries reuse.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+
+@dataclass
+class ServiceStats:
+    """Coalescing counters: how many requests landed in how many batches."""
+
+    requests: int = 0
+    rows: int = 0
+    batches: int = 0
+    batch_rows: List[int] = field(default_factory=list)
+
+    @property
+    def max_batch_rows(self) -> int:
+        return max(self.batch_rows, default=0)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "rows": self.rows,
+            "batches": self.batches,
+            "max_batch_rows": self.max_batch_rows,
+        }
+
+
+class MicroBatchScoringService:
+    """Coalesce concurrent scoring requests into single scorer calls.
+
+    Parameters
+    ----------
+    scorer:
+        Frozen scoring callable: 2-D row block in, per-row score array
+        (1-D, or 2-D with one row of output per row of input) out — e.g.
+        ``ModelArtifact.scorer()``.
+    n_features:
+        Expected row width; submitted rows are validated against it when
+        given (a loaded artifact knows it via ``artifact.n_features``).
+    max_batch_size:
+        Maximum rows per coalesced scorer call.
+    max_delay_s:
+        How long the batcher lingers for stragglers after the first
+        request of a batch arrives (the latency cost ceiling of batching).
+    """
+
+    def __init__(
+        self,
+        scorer: Callable[[np.ndarray], np.ndarray],
+        *,
+        n_features: Optional[int] = None,
+        max_batch_size: int = 64,
+        max_delay_s: float = 0.002,
+    ):
+        if max_batch_size < 1:
+            raise ValidationError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        if max_delay_s < 0:
+            raise ValidationError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        self.scorer = scorer
+        self.n_features = None if n_features is None else int(n_features)
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay_s = float(max_delay_s)
+        self.stats = ServiceStats()
+        self._queue: Optional[asyncio.Queue] = None
+        self._worker: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "MicroBatchScoringService":
+        if self._worker is not None:
+            raise ValidationError("service is already started")
+        self._queue = asyncio.Queue()
+        self._worker = asyncio.get_running_loop().create_task(self._run())
+        return self
+
+    async def stop(self) -> None:
+        if self._worker is None:
+            return
+        worker, self._worker = self._worker, None
+        worker.cancel()
+        try:
+            await worker
+        except asyncio.CancelledError:
+            pass
+        self._queue = None
+
+    async def __aenter__(self) -> "MicroBatchScoringService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    def _validate_rows(self, rows) -> np.ndarray:
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim == 1:
+            rows = rows[np.newaxis, :]
+        if rows.ndim != 2 or rows.shape[0] == 0:
+            raise ValidationError(
+                "a scoring request is a non-empty 2-D row block; got shape"
+                f" {rows.shape}"
+            )
+        if self.n_features is not None and rows.shape[1] != self.n_features:
+            raise ValidationError(
+                f"request rows have {rows.shape[1]} features; the model"
+                f" expects {self.n_features}"
+            )
+        return rows
+
+    async def submit(self, rows) -> np.ndarray:
+        """Score a row block; resolves when its coalesced batch is scored."""
+        if self._queue is None:
+            raise ValidationError("service is not started (use 'async with')")
+        rows = self._validate_rows(rows)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put((rows, future))
+        return await future
+
+    async def _run(self) -> None:
+        assert self._queue is not None
+        queue = self._queue
+        loop = asyncio.get_running_loop()
+        while True:
+            rows, future = await queue.get()
+            batch = [(rows, future)]
+            n_rows = rows.shape[0]
+            deadline = loop.time() + self.max_delay_s
+            # Linger for stragglers: drain whatever is already queued, then
+            # wait out the delay budget before closing the batch.
+            while n_rows < self.max_batch_size:
+                timeout = deadline - loop.time()
+                try:
+                    if timeout <= 0:
+                        rows, future = queue.get_nowait()
+                    else:
+                        rows, future = await asyncio.wait_for(
+                            queue.get(), timeout
+                        )
+                except (asyncio.QueueEmpty, asyncio.TimeoutError):
+                    break
+                batch.append((rows, future))
+                n_rows += rows.shape[0]
+            self._score_batch(batch)
+
+    def _score_batch(self, batch) -> None:
+        blocks = [rows for rows, _ in batch]
+        stacked = np.vstack(blocks) if len(blocks) > 1 else blocks[0]
+        try:
+            scores = np.asarray(self.scorer(stacked))
+        except Exception as exc:  # surface scorer failures per-request
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        if scores.shape[0] != stacked.shape[0]:
+            exc = ValidationError(
+                f"scorer returned {scores.shape[0]} scores for"
+                f" {stacked.shape[0]} rows"
+            )
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self.stats.batches += 1
+        self.stats.batch_rows.append(int(stacked.shape[0]))
+        offset = 0
+        for rows, future in batch:
+            n = rows.shape[0]
+            if not future.done():
+                future.set_result(scores[offset : offset + n].copy())
+            offset += n
+            self.stats.requests += 1
+            self.stats.rows += n
+
+
+# ---------------------------------------------------------------------- #
+# Synchronous driver (tests, bench, self-test)
+# ---------------------------------------------------------------------- #
+def score_batches(
+    scorer: Callable[[np.ndarray], np.ndarray],
+    requests: Sequence[np.ndarray],
+    *,
+    n_features: Optional[int] = None,
+    max_batch_size: int = 64,
+    max_delay_s: float = 0.002,
+) -> tuple:
+    """Score ``requests`` concurrently through a fresh service.
+
+    Returns ``(results, stats)`` where ``results[i]`` is the score array
+    for ``requests[i]`` — the synchronous entry point for callers that do
+    not run an event loop themselves.
+    """
+
+    async def _drive():
+        async with MicroBatchScoringService(
+            scorer,
+            n_features=n_features,
+            max_batch_size=max_batch_size,
+            max_delay_s=max_delay_s,
+        ) as service:
+            results = await asyncio.gather(
+                *(service.submit(rows) for rows in requests)
+            )
+            return results, service.stats
+
+    return asyncio.run(_drive())
+
+
+def measure_latency(
+    scorer: Callable[[np.ndarray], np.ndarray],
+    make_rows: Callable[[int], np.ndarray],
+    *,
+    concurrency: int,
+    waves: int = 20,
+    max_batch_size: Optional[int] = None,
+    max_delay_s: float = 0.002,
+) -> Dict[str, Any]:
+    """Per-request latency/throughput of the coalesced path.
+
+    Drives ``waves`` rounds of ``concurrency`` concurrent single-row
+    requests through one long-lived service and records each request's
+    submit→result wall time.  Returns p50/p99 latency (ms), aggregate
+    req/s, and the coalescing stats.
+    """
+
+    async def _drive():
+        latencies: List[float] = []
+        service = MicroBatchScoringService(
+            scorer,
+            max_batch_size=concurrency if max_batch_size is None else max_batch_size,
+            max_delay_s=max_delay_s,
+        )
+        async with service:
+            async def one_request(rows):
+                start = time.perf_counter()
+                await service.submit(rows)
+                latencies.append(time.perf_counter() - start)
+
+            start = time.perf_counter()
+            for _ in range(waves):
+                await asyncio.gather(
+                    *(one_request(make_rows(1)) for _ in range(concurrency))
+                )
+            elapsed = time.perf_counter() - start
+        lat_ms = np.asarray(latencies) * 1e3
+        return {
+            "p50_ms": float(np.percentile(lat_ms, 50)),
+            "p99_ms": float(np.percentile(lat_ms, 99)),
+            "req_per_s": float(len(latencies) / elapsed) if elapsed > 0 else 0.0,
+            **service.stats.as_dict(),
+        }
+
+    return asyncio.run(_drive())
+
+
+def run_self_test(
+    artifact,
+    *,
+    concurrency: int = 16,
+    waves: int = 5,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """End-to-end in-process check of a loaded artifact behind the service.
+
+    Submits ``waves`` rounds of ``concurrency`` concurrent requests,
+    verifies every coalesced response matches scoring the same rows
+    directly (at the float64 BLAS-reduction tolerance batching is pinned
+    at — see the module docstring), checks that coalescing actually
+    happened, and reports the latency/throughput summary.  Raises
+    :class:`ValidationError` on any mismatch — the CI serve-smoke job
+    calls this via ``python -m repro serve --self-test``.
+    """
+    scorer = artifact.scorer()
+    rng = np.random.default_rng(seed)
+    request_blocks = [
+        artifact.example_rows(int(rng.integers(1, 4)), rng)
+        for _ in range(concurrency * waves)
+    ]
+
+    results, stats = score_batches(
+        scorer,
+        request_blocks,
+        n_features=artifact.n_features,
+        max_batch_size=max(2, concurrency),
+    )
+    for rows, scores in zip(request_blocks, results):
+        direct = np.asarray(scorer(rows))
+        if scores.shape != direct.shape or not np.allclose(
+            scores, direct, rtol=1e-10, atol=1e-12
+        ):
+            raise ValidationError(
+                "micro-batched scores differ from direct scoring beyond"
+                " BLAS accumulation tolerance — coalescing must not change"
+                " results"
+            )
+    if stats.batches >= stats.requests and stats.requests > 1:
+        raise ValidationError(
+            f"no coalescing happened: {stats.requests} requests ran as"
+            f" {stats.batches} batches"
+        )
+
+    latency = measure_latency(
+        scorer,
+        lambda n: artifact.example_rows(n, rng),
+        concurrency=concurrency,
+        waves=waves,
+    )
+    return {
+        "kind": artifact.kind,
+        "n_features": artifact.n_features,
+        "verified_requests": len(request_blocks),
+        "coalesced": stats.as_dict(),
+        **latency,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# TCP front end (newline-delimited JSON)
+# ---------------------------------------------------------------------- #
+async def _handle_client(service: MicroBatchScoringService, reader, writer) -> None:
+    while True:
+        line = await reader.readline()
+        if not line:
+            break
+        response: Dict[str, Any]
+        request_id = None
+        try:
+            request = json.loads(line)
+            request_id = request.get("id") if isinstance(request, dict) else None
+            if not isinstance(request, dict) or "rows" not in request:
+                raise ValidationError(
+                    'a request is a JSON object {"rows": [[...], ...]}'
+                )
+            scores = await service.submit(request["rows"])
+            response = {"id": request_id, "scores": np.asarray(scores).tolist()}
+        except Exception as exc:
+            response = {"id": request_id, "error": str(exc)}
+        writer.write((json.dumps(response) + "\n").encode())
+        await writer.drain()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):  # pragma: no cover - client vanished
+        pass
+
+
+async def serve_forever(
+    artifact,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    max_batch_size: int = 64,
+    max_delay_s: float = 0.002,
+    ready_callback: Optional[Callable[[str, int], None]] = None,
+) -> None:
+    """Serve a loaded artifact over newline-delimited JSON TCP.
+
+    One service instance backs every connection, so requests from
+    different clients coalesce into shared batches.  Runs until
+    cancelled (``python -m repro serve`` wraps this with Ctrl-C
+    handling).
+    """
+    service = MicroBatchScoringService(
+        artifact.scorer(),
+        n_features=artifact.n_features,
+        max_batch_size=max_batch_size,
+        max_delay_s=max_delay_s,
+    )
+    async with service:
+        server = await asyncio.start_server(
+            lambda r, w: _handle_client(service, r, w), host, port
+        )
+        async with server:
+            bound = server.sockets[0].getsockname()
+            if ready_callback is not None:
+                ready_callback(bound[0], bound[1])
+            await server.serve_forever()

@@ -4,11 +4,19 @@ The spec layer (:mod:`repro.config` / :mod:`repro.api`) supersedes the
 kwarg-style constructors on the substrates, trainers and estimator.  The
 old signatures keep working — each builds its spec internally and runs the
 exact same code path, so seeded results are bit-identical — but the first
-kwarg-style call per entry point emits one :class:`DeprecationWarning`
+kwarg-style call per entry point emits one :class:`ReproDeprecationWarning`
 pointing at the spec equivalent.  One warning per process per entry point:
 a training loop constructing thousands of machines should not drown the
 log, and the suites that pin the deprecation contract reset the registry
 explicitly via :func:`reset_warnings`.
+
+:class:`ReproDeprecationWarning` subclasses :class:`DeprecationWarning`
+(existing ``pytest.warns(DeprecationWarning)`` pins keep passing) but gives
+the test suite a category to gate on: pyproject's ``filterwarnings`` turns
+repro-internal deprecation leaks into errors, while third-party
+``DeprecationWarning`` noise stays untouched.  Test modules that exercise
+the legacy kwarg surface on purpose opt out with a module-level
+``pytest.mark.filterwarnings("ignore::repro.utils.deprecation.ReproDeprecationWarning")``.
 """
 
 from __future__ import annotations
@@ -17,14 +25,19 @@ import threading
 import warnings
 from typing import Set
 
-__all__ = ["warn_kwargs_deprecated", "reset_warnings"]
+__all__ = ["ReproDeprecationWarning", "warn_kwargs_deprecated", "reset_warnings"]
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """Deprecation of a repro-internal API (the gate-able category)."""
+
 
 _seen: Set[str] = set()
 _lock = threading.Lock()
 
 
 def warn_kwargs_deprecated(entry_point: str, spec_equivalent: str) -> None:
-    """Emit one ``DeprecationWarning`` for a kwarg-style ``entry_point``.
+    """Emit one ``ReproDeprecationWarning`` for a kwarg-style ``entry_point``.
 
     ``spec_equivalent`` names the typed replacement (e.g.
     ``"repro.config.SubstrateSpec + repro.api.build_substrate"``).  Only the
@@ -40,7 +53,7 @@ def warn_kwargs_deprecated(entry_point: str, spec_equivalent: str) -> None:
         f"kwarg-style {entry_point}(...) is deprecated; build a "
         f"{spec_equivalent} instead (the kwarg path constructs the same "
         "spec internally and stays bit-identical under fixed seeds)",
-        DeprecationWarning,
+        ReproDeprecationWarning,
         stacklevel=3,
     )
 

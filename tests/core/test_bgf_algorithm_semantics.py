@@ -13,6 +13,13 @@ import pytest
 
 from repro.core import BGFConfig, BGFTrainer, BoltzmannGradientFollower
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 
 @pytest.fixture
 def machine():

@@ -9,6 +9,13 @@ from repro.rbm import BernoulliRBM, CDTrainer
 from repro.rbm.metrics import reconstruction_error
 from repro.utils.validation import ValidationError
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 
 class TestGibbsSamplerMachine:
     def test_program_requires_matching_shape(self):

@@ -30,6 +30,13 @@ from repro.utils.numerics import (
     sigmoid_reference,
 )
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 
 @pytest.fixture(autouse=True)
 def _serial_workers(monkeypatch):

@@ -25,6 +25,13 @@ from repro.core.gradient_follower import BoltzmannGradientFollower
 from repro.ising import BipartiteIsingSubstrate
 from repro.rbm import AISEstimator, BernoulliRBM
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 # The CI matrix's workers column folds its value into the reproducibility
 # parametrization (REPRO_WORKERS=3 adds a workers=3 leg here).
 _env = os.environ.get("REPRO_WORKERS", "")

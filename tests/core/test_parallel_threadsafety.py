@@ -22,6 +22,13 @@ import pytest
 from repro.analog.noise import NoiseConfig
 from repro.ising import BipartiteIsingSubstrate
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 N_VISIBLE, N_HIDDEN = 10, 6
 
 

@@ -8,6 +8,13 @@ from repro.eval import RBMAnomalyDetector, RBMRecommender
 from repro.rbm import CDTrainer
 from repro.utils.validation import ValidationError
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 
 class TestRBMRecommender:
     def test_invalid_configuration(self):
@@ -18,18 +25,43 @@ class TestRBMRecommender:
 
     def test_fit_predict_shapes(self, tiny_ratings_dataset):
         recommender = RBMRecommender(n_hidden=12, epochs=5, rng=0).fit(tiny_ratings_dataset)
-        predictions = recommender.predict_matrix()
+        predictions = recommender.predict_matrix(tiny_ratings_dataset.train_ratings)
         assert predictions.shape == (tiny_ratings_dataset.n_users, tiny_ratings_dataset.n_items)
 
     def test_predictions_in_rating_range(self, tiny_ratings_dataset):
         recommender = RBMRecommender(n_hidden=12, epochs=5, rng=0).fit(tiny_ratings_dataset)
-        predictions = recommender.predict_matrix()
+        predictions = recommender.predict_matrix(tiny_ratings_dataset.train_ratings)
         assert predictions.min() >= 1.0
         assert predictions.max() <= tiny_ratings_dataset.rating_levels
 
-    def test_requires_fit_before_predict(self):
-        with pytest.raises(ValidationError):
-            RBMRecommender().predict_matrix()
+    def test_requires_fit_before_predict(self, tiny_ratings_dataset):
+        with pytest.raises(ValidationError, match="fit must be called"):
+            RBMRecommender().predict_ratings(tiny_ratings_dataset.train_ratings.T)
+
+    def test_predict_matrix_requires_ratings(self, tiny_ratings_dataset):
+        """The fitted model no longer retains the training matrix: scoring
+        takes the observed ratings explicitly."""
+        recommender = RBMRecommender(n_hidden=8, epochs=3, rng=0).fit(tiny_ratings_dataset)
+        assert not hasattr(recommender, "_train_data")
+        with pytest.raises(ValidationError, match="does not retain"):
+            recommender.predict_matrix()
+
+    def test_predict_ratings_row_width_check(self, tiny_ratings_dataset):
+        recommender = RBMRecommender(n_hidden=8, epochs=3, rng=0).fit(tiny_ratings_dataset)
+        with pytest.raises(ValidationError, match="user columns"):
+            recommender.predict_ratings(np.zeros((2, tiny_ratings_dataset.n_users + 1)))
+
+    def test_fit_rejects_all_unobserved_ratings(self, tiny_ratings_dataset):
+        """All-zero training ratings must fail loudly instead of silently
+        scoring against the stale default global mean."""
+        empty = type(tiny_ratings_dataset)(
+            name="all-unobserved",
+            train_ratings=np.zeros_like(tiny_ratings_dataset.train_ratings),
+            test_ratings=tiny_ratings_dataset.test_ratings,
+            rating_levels=tiny_ratings_dataset.rating_levels,
+        )
+        with pytest.raises(ValidationError, match="no observed entries"):
+            RBMRecommender(n_hidden=8, epochs=1, rng=0).fit(empty)
 
     def test_beats_global_mean_baseline(self, tiny_ratings_dataset):
         """The quality bar behind Table 4's MAE row: the learned model must be
@@ -53,7 +85,10 @@ class TestRBMRecommender:
     def test_deterministic_given_seeds(self, tiny_ratings_dataset):
         a = RBMRecommender(n_hidden=8, epochs=3, rng=5).fit(tiny_ratings_dataset)
         b = RBMRecommender(n_hidden=8, epochs=3, rng=5).fit(tiny_ratings_dataset)
-        np.testing.assert_allclose(a.predict_matrix(), b.predict_matrix())
+        np.testing.assert_allclose(
+            a.predict_matrix(tiny_ratings_dataset.train_ratings),
+            b.predict_matrix(tiny_ratings_dataset.train_ratings),
+        )
 
 
 class TestRBMAnomalyDetector:
@@ -119,7 +154,7 @@ class TestSparseEncodedPipelines:
         recommender = RBMRecommender(
             n_hidden=12, epochs=5, encoding="onehot", sparse=True, rng=0
         ).fit(tiny_ratings_dataset)
-        predictions = recommender.predict_matrix()
+        predictions = recommender.predict_matrix(tiny_ratings_dataset.train_ratings)
         assert predictions.shape == (
             tiny_ratings_dataset.n_users,
             tiny_ratings_dataset.n_items,
@@ -133,7 +168,7 @@ class TestSparseEncodedPipelines:
                 n_hidden=12, epochs=5, encoding="onehot", sparse=sparse, rng=0
             )
             .fit(tiny_ratings_dataset)
-            .predict_matrix()
+            .predict_matrix(tiny_ratings_dataset.train_ratings)
             for sparse in (True, False)
         ]
         np.testing.assert_allclose(predictions[0], predictions[1], atol=1e-8)

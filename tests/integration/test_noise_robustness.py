@@ -13,6 +13,13 @@ from repro.core import BGFTrainer, GibbsSamplerTrainer
 from repro.rbm import BernoulliRBM
 from repro.rbm.metrics import reconstruction_error
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 
 @pytest.fixture(scope="module")
 def structured_data():

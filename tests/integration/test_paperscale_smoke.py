@@ -19,7 +19,15 @@ from repro.experiments.table4_accuracy import run_table4_paper
 from repro.ising import BipartiteIsingSubstrate
 from repro.rbm import AISEstimator, BernoulliRBM
 
-pytestmark = pytest.mark.paperscale
+# Alongside the paperscale marker: these smokes exercise the legacy
+# kwarg-style constructors on purpose, so they opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = [
+    pytest.mark.paperscale,
+    pytest.mark.filterwarnings(
+        "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+    ),
+]
 
 # The nightly CI matrix's workers column (see .github/workflows/ci.yml):
 # the presets are smoked serially and through the sharded settle / threaded

@@ -8,6 +8,13 @@ from repro.ising import BipartiteIsingSubstrate
 from repro.rbm import BernoulliRBM
 from repro.utils.validation import ValidationError
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 
 @pytest.fixture
 def programmed_substrate():

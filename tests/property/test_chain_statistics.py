@@ -35,6 +35,13 @@ from repro.ising import BipartiteIsingSubstrate
 from repro.rbm import BernoulliRBM
 from repro.rbm.partition import exact_model_moments
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 N_VISIBLE, N_HIDDEN = 6, 4
 BURN_IN = 300
 N_SWEEPS = 400

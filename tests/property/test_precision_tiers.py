@@ -43,6 +43,13 @@ from repro.rbm.partition import exact_log_partition, exact_model_moments
 from repro.utils.numerics import fused_sigmoid_bernoulli, sigmoid
 from repro.utils.validation import ValidationError
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 N_VISIBLE, N_HIDDEN = 6, 4
 
 

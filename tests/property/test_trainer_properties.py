@@ -15,6 +15,13 @@ from hypothesis import strategies as st
 from repro.core import BGFConfig, BGFTrainer, GibbsSamplerTrainer
 from repro.rbm import BernoulliRBM, CDTrainer, PCDTrainer
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 
 def _data_from_seed(seed: int, n_samples: int, n_visible: int) -> np.ndarray:
     rng = np.random.default_rng(seed)

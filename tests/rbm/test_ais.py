@@ -16,6 +16,13 @@ from repro.rbm import (
 from repro.utils.numerics import log1pexp, log1pexp_diff
 from repro.utils.validation import ValidationError
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 #: float64 tolerance for the vectorized-vs-loop regression: the two paths
 #: draw identical samples and differ only in accumulation association /
 #: the fused-kernel factoring (see tests/helpers/tolerances.py).

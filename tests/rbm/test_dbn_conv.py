@@ -6,6 +6,13 @@ import pytest
 from repro.rbm import BernoulliRBM, CDTrainer, ConvolutionalRBM, DeepBeliefNetwork
 from repro.utils.validation import ValidationError
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 
 class TestDeepBeliefNetworkConstruction:
     def test_layer_structure(self):

@@ -7,6 +7,13 @@ from repro.rbm import BernoulliRBM, CDTrainer
 from repro.rbm.metrics import free_energy_gap, pseudo_log_likelihood, reconstruction_error
 from repro.utils.validation import ValidationError
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 
 class TestReconstructionError:
     def test_non_negative(self, small_rbm, tiny_binary_data):

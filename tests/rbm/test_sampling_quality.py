@@ -7,6 +7,13 @@ from repro.rbm import BernoulliRBM, CDTrainer, MaximumLikelihoodTrainer
 from repro.rbm.partition import enumerate_states, exact_visible_distribution
 from repro.utils.numerics import bernoulli_sample
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 
 class TestGibbsSamplingStatistics:
     def test_long_chain_matches_exact_marginals(self):

@@ -7,6 +7,13 @@ from repro.rbm import BernoulliRBM, CDTrainer, PCDTrainer
 from repro.rbm.metrics import reconstruction_error
 from repro.utils.validation import ValidationError
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 
 class TestCDTrainerConfiguration:
     def test_invalid_learning_rate(self):

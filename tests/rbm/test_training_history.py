@@ -5,6 +5,13 @@ import pytest
 
 from repro.rbm import BernoulliRBM, CDTrainer, TrainingHistory
 
+# This module exercises the legacy kwarg-style constructors on purpose
+# (they are pinned bit-identical to the spec path); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
 
 class TestTrainingHistory:
     def test_empty_history(self):

@@ -1,0 +1,274 @@
+"""Artifact persistence: save -> load round trips and failure modes.
+
+The serving contract is that a loaded artifact is indistinguishable from
+the live estimator it was saved from: parameter arrays (and their dtype
+tier) survive bit-for-bit, scoring the same rows produces bit-identical
+results, and every corruption/mismatch path fails with a ValidationError
+naming the offending file.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config.specs import RunSpec
+from repro.core import GibbsSamplerTrainer
+from repro.eval import RBMAnomalyDetector, RBMRecommender
+from repro.rbm import BernoulliRBM, PCDTrainer
+from repro.serve import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    load_model,
+    save_model,
+)
+from repro.utils.validation import ValidationError
+
+# The estimators here are built through the kwarg constructors (the
+# supported configuration surface for the eval pipelines); opt out of the
+# repro-internal deprecation error gate (pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.utils.deprecation.ReproDeprecationWarning"
+)
+
+
+def _random_rbm(n_visible=16, n_hidden=8, dtype=np.float64, seed=1):
+    rbm = BernoulliRBM(n_visible, n_hidden, rng=0)
+    rng = np.random.default_rng(seed)
+    rbm.weights = rng.normal(0, 0.3, (n_visible, n_hidden)).astype(dtype)
+    rbm.visible_bias = rng.normal(0, 0.2, n_visible).astype(dtype)
+    rbm.hidden_bias = rng.normal(0, 0.2, n_hidden).astype(dtype)
+    return rbm
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_rbm_round_trip_preserves_dtype_and_scores(self, tmp_path, dtype):
+        rbm = _random_rbm(dtype=dtype)
+        npz_path = save_model(rbm, tmp_path / "model")
+        artifact = load_model(tmp_path / "model")
+
+        assert artifact.kind == "rbm"
+        for name in ("weights", "visible_bias", "hidden_bias"):
+            stored = getattr(artifact.rbm, name)
+            assert stored.dtype == dtype
+            np.testing.assert_array_equal(stored, getattr(rbm, name))
+        rows = (np.random.default_rng(2).random((5, 16)) < 0.5).astype(float)
+        np.testing.assert_array_equal(
+            artifact.scorer()(rows), rbm.score_samples(rows)
+        )
+        assert npz_path.is_file() and npz_path.suffix == ".npz"
+
+    def test_path_suffixes_normalize_to_one_bundle(self, tmp_path):
+        rbm = _random_rbm()
+        save_model(rbm, tmp_path / "model.npz")
+        for alias in ("model", "model.npz", "model.json"):
+            artifact = load_model(tmp_path / alias)
+            np.testing.assert_array_equal(artifact.rbm.weights, rbm.weights)
+
+    def test_recommender_round_trip_scores_bit_identical(
+        self, tmp_path, tiny_ratings_dataset
+    ):
+        recommender = RBMRecommender(n_hidden=8, epochs=3, rng=0).fit(
+            tiny_ratings_dataset
+        )
+        save_model(recommender, tmp_path / "rec")
+        artifact = load_model(tmp_path / "rec")
+
+        assert artifact.kind == "recommender"
+        assert artifact.n_features == tiny_ratings_dataset.n_users
+        assert artifact.model._global_mean == recommender._global_mean
+        item_rows = np.asarray(tiny_ratings_dataset.train_ratings, dtype=float).T
+        np.testing.assert_array_equal(
+            artifact.model.predict_ratings(item_rows),
+            recommender.predict_ratings(item_rows),
+        )
+
+    @pytest.mark.sparse
+    def test_sparse_trained_recommender_round_trip(
+        self, tmp_path, tiny_ratings_dataset
+    ):
+        recommender = RBMRecommender(
+            n_hidden=8, epochs=3, encoding="onehot", sparse=True, rng=0
+        ).fit(tiny_ratings_dataset)
+        save_model(recommender, tmp_path / "rec")
+        artifact = load_model(tmp_path / "rec")
+
+        assert artifact.model.sparse is True
+        item_rows = np.asarray(tiny_ratings_dataset.train_ratings, dtype=float).T
+        np.testing.assert_array_equal(
+            artifact.model.predict_ratings(item_rows),
+            recommender.predict_ratings(item_rows),
+        )
+
+    def test_anomaly_detector_round_trip_scores_bit_identical(
+        self, tmp_path, tiny_fraud_dataset
+    ):
+        detector = RBMAnomalyDetector(n_hidden=8, epochs=3, rng=0).fit(
+            tiny_fraud_dataset
+        )
+        save_model(detector, tmp_path / "det")
+        artifact = load_model(tmp_path / "det")
+
+        assert artifact.kind == "anomaly"
+        assert artifact.n_features == tiny_fraud_dataset.test_x.shape[1]
+        np.testing.assert_array_equal(
+            artifact.model.anomaly_scores(tiny_fraud_dataset.test_x),
+            detector.anomaly_scores(tiny_fraud_dataset.test_x),
+        )
+
+    def test_run_spec_round_trips_losslessly(self, tmp_path):
+        spec = RunSpec(experiment="figure9", seed=7)
+        save_model(_random_rbm(), tmp_path / "model", run_spec=spec)
+        artifact = load_model(tmp_path / "model")
+        assert artifact.run_spec == spec
+        # The dict form is accepted too (what the CLI passes through).
+        save_model(_random_rbm(), tmp_path / "m2", run_spec=spec.to_dict())
+        assert load_model(tmp_path / "m2").run_spec == spec
+
+
+class TestChainStateRoundTrip:
+    def test_pcd_particles_survive_and_restore(self, tmp_path, tiny_binary_data):
+        rbm = BernoulliRBM(16, 8, rng=0)
+        trainer = PCDTrainer(0.1, n_particles=6, batch_size=10, rng=3)
+        trainer.train(rbm, tiny_binary_data, epochs=2)
+        save_model(rbm, tmp_path / "pcd", chain_state=trainer.particles)
+
+        artifact = load_model(tmp_path / "pcd")
+        np.testing.assert_array_equal(artifact.chain_state, trainer.particles)
+        resumed = PCDTrainer(0.1, n_particles=6, batch_size=10, rng=3)
+        resumed.restore_particles(artifact.chain_state)
+        np.testing.assert_array_equal(resumed.particles, trainer.particles)
+
+    def test_gs_chain_states_survive_and_restore(self, tmp_path, tiny_binary_data):
+        rbm = BernoulliRBM(16, 8, rng=0)
+        trainer = GibbsSamplerTrainer(
+            0.1, cd_k=1, batch_size=10, chains=4, persistent=True, rng=3
+        )
+        trainer.train(rbm, tiny_binary_data, epochs=1)
+        save_model(rbm, tmp_path / "gs", chain_state=trainer.chain_states)
+
+        artifact = load_model(tmp_path / "gs")
+        np.testing.assert_array_equal(artifact.chain_state, trainer.chain_states)
+        resumed = GibbsSamplerTrainer(
+            0.1, cd_k=1, batch_size=10, chains=4, persistent=True, rng=3
+        )
+        resumed.restore_chain_states(artifact.chain_state)
+        np.testing.assert_array_equal(
+            resumed.chain_states, trainer.chain_states
+        )
+
+    def test_restore_hooks_validate_shapes(self):
+        with pytest.raises(ValidationError):
+            PCDTrainer(0.1, n_particles=6, rng=0).restore_particles(
+                np.zeros((3, 8))
+            )
+        trainer = GibbsSamplerTrainer(0.1, chains=4, persistent=False, rng=0)
+        with pytest.raises(ValidationError, match="persistent"):
+            trainer.restore_chain_states(np.zeros((4, 8)))
+
+    def test_dense_artifact_has_no_chain_state(self, tmp_path):
+        save_model(_random_rbm(), tmp_path / "model")
+        assert load_model(tmp_path / "model").chain_state is None
+
+
+class TestSaveErrors:
+    def test_unfitted_estimators_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="unfitted"):
+            save_model(RBMRecommender(), tmp_path / "m")
+        with pytest.raises(ValidationError, match="unfitted"):
+            save_model(RBMAnomalyDetector(), tmp_path / "m")
+
+    def test_unsupported_model_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="supported models"):
+            save_model(object(), tmp_path / "m")
+
+    def test_chain_state_must_be_2d(self, tmp_path):
+        with pytest.raises(ValidationError, match="2-D"):
+            save_model(_random_rbm(), tmp_path / "m", chain_state=np.zeros(8))
+
+
+class TestLoadErrors:
+    def test_missing_bundle(self, tmp_path):
+        with pytest.raises(ValidationError, match="not found"):
+            load_model(tmp_path / "nope")
+
+    def test_missing_sidecar_json(self, tmp_path):
+        save_model(_random_rbm(), tmp_path / "model")
+        (tmp_path / "model.json").unlink()
+        with pytest.raises(ValidationError, match="not found"):
+            load_model(tmp_path / "model")
+
+    def test_garbled_json(self, tmp_path):
+        save_model(_random_rbm(), tmp_path / "model")
+        (tmp_path / "model.json").write_text("{not json")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_model(tmp_path / "model")
+
+    def test_foreign_format_rejected(self, tmp_path):
+        save_model(_random_rbm(), tmp_path / "model")
+        meta = json.loads((tmp_path / "model.json").read_text())
+        meta["format"] = "something-else"
+        (tmp_path / "model.json").write_text(json.dumps(meta))
+        with pytest.raises(ValidationError, match=ARTIFACT_FORMAT):
+            load_model(tmp_path / "model")
+
+    def test_version_mismatch_names_the_remedy(self, tmp_path):
+        save_model(_random_rbm(), tmp_path / "model")
+        meta = json.loads((tmp_path / "model.json").read_text())
+        meta["format_version"] = ARTIFACT_VERSION + 1
+        (tmp_path / "model.json").write_text(json.dumps(meta))
+        with pytest.raises(ValidationError, match="re-save the model"):
+            load_model(tmp_path / "model")
+
+    def test_truncated_payload_fails_checksum(self, tmp_path):
+        npz_path = save_model(_random_rbm(), tmp_path / "model")
+        payload = npz_path.read_bytes()
+        npz_path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(ValidationError, match="sha256"):
+            load_model(tmp_path / "model")
+
+    def test_manifest_drift_detected(self, tmp_path):
+        npz_path = save_model(_random_rbm(), tmp_path / "model")
+        meta = json.loads((tmp_path / "model.json").read_text())
+        meta["arrays"]["weights"]["dtype"] = "float32"
+        (tmp_path / "model.json").write_text(json.dumps(meta))
+        with pytest.raises(ValidationError, match="manifest says"):
+            load_model(tmp_path / "model")
+        assert npz_path.is_file()  # the payload itself was never touched
+
+    def test_missing_required_array(self, tmp_path):
+        rbm = _random_rbm()
+        npz_path = save_model(rbm, tmp_path / "model")
+        # Rewrite the payload without hidden_bias, keeping the checksum and
+        # manifest consistent, so the required-array check is what fires.
+        np.savez(
+            npz_path, weights=rbm.weights, visible_bias=rbm.visible_bias
+        )
+        meta = json.loads((tmp_path / "model.json").read_text())
+        del meta["arrays"]["hidden_bias"]
+        import hashlib
+
+        meta["npz_sha256"] = hashlib.sha256(npz_path.read_bytes()).hexdigest()
+        (tmp_path / "model.json").write_text(json.dumps(meta))
+        with pytest.raises(ValidationError, match="'hidden_bias' is missing"):
+            load_model(tmp_path / "model")
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        save_model(_random_rbm(), tmp_path / "model")
+        meta = json.loads((tmp_path / "model.json").read_text())
+        meta["kind"] = "transformer"
+        (tmp_path / "model.json").write_text(json.dumps(meta))
+        with pytest.raises(ValidationError, match="unknown kind"):
+            load_model(tmp_path / "model")
+
+    def test_incomplete_estimator_state_is_corruption(self, tmp_path, tiny_fraud_dataset):
+        detector = RBMAnomalyDetector(n_hidden=8, epochs=2, rng=0).fit(
+            tiny_fraud_dataset
+        )
+        save_model(detector, tmp_path / "det")
+        meta = json.loads((tmp_path / "det.json").read_text())
+        del meta["state"]["train_mean_score"]
+        (tmp_path / "det.json").write_text(json.dumps(meta))
+        with pytest.raises(ValidationError, match="missing field"):
+            load_model(tmp_path / "det")

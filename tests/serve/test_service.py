@@ -1,0 +1,188 @@
+"""Micro-batching scoring service: coalescing, correctness, front ends.
+
+The batching contract: responses are bit-identical to scoring the
+coalesced batch directly, and match scoring each request alone at the
+float64 BLAS-reduction tolerance (gemv-vs-gemm accumulation order — see
+the repro.serve.service module docstring).
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.rbm import BernoulliRBM
+from repro.serve import (
+    MicroBatchScoringService,
+    load_model,
+    run_self_test,
+    save_model,
+    score_batches,
+    serve_forever,
+)
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture()
+def scorer_rbm():
+    rbm = BernoulliRBM(12, 6, rng=0)
+    rng = np.random.default_rng(1)
+    rbm.set_parameters(
+        rng.normal(0, 0.3, (12, 6)),
+        rng.normal(0, 0.2, 12),
+        rng.normal(0, 0.2, 6),
+    )
+    return rbm
+
+
+def _request_blocks(n_requests, n_features=12, seed=2):
+    rng = np.random.default_rng(seed)
+    return [
+        (rng.random((int(rng.integers(1, 4)), n_features)) < 0.5).astype(float)
+        for _ in range(n_requests)
+    ]
+
+
+class TestCoalescing:
+    def test_concurrent_requests_share_batches(self, scorer_rbm):
+        requests = _request_blocks(20)
+        results, stats = score_batches(
+            scorer_rbm.score_samples, requests, n_features=12, max_batch_size=32
+        )
+        assert stats.requests == 20
+        assert stats.batches < stats.requests  # coalescing happened
+        assert stats.rows == sum(block.shape[0] for block in requests)
+        for block, scores in zip(requests, results):
+            assert scores.shape == (block.shape[0],)
+            np.testing.assert_allclose(
+                scores, scorer_rbm.score_samples(block), rtol=1e-10, atol=1e-12
+            )
+
+    def test_batch_size_one_disables_coalescing(self, scorer_rbm):
+        requests = _request_blocks(6)
+        results, stats = score_batches(
+            scorer_rbm.score_samples, requests, n_features=12, max_batch_size=1
+        )
+        assert stats.batches == stats.requests == 6
+        # Solo batches ARE the direct call: bit-identical, no tolerance.
+        for block, scores in zip(requests, results):
+            np.testing.assert_array_equal(scores, scorer_rbm.score_samples(block))
+
+    def test_stats_summary_shape(self, scorer_rbm):
+        _, stats = score_batches(
+            scorer_rbm.score_samples, _request_blocks(4), n_features=12
+        )
+        summary = stats.as_dict()
+        assert set(summary) == {"requests", "rows", "batches", "max_batch_rows"}
+        assert summary["max_batch_rows"] == max(stats.batch_rows)
+
+
+class TestValidation:
+    def test_row_width_checked_at_submit(self, scorer_rbm):
+        with pytest.raises(ValidationError, match="expects 12"):
+            score_batches(
+                scorer_rbm.score_samples,
+                [np.zeros((2, 5))],
+                n_features=12,
+            )
+
+    def test_empty_request_rejected(self, scorer_rbm):
+        with pytest.raises(ValidationError, match="non-empty"):
+            score_batches(
+                scorer_rbm.score_samples, [np.zeros((0, 12))], n_features=12
+            )
+
+    def test_bad_service_parameters(self, scorer_rbm):
+        with pytest.raises(ValidationError, match="max_batch_size"):
+            MicroBatchScoringService(scorer_rbm.score_samples, max_batch_size=0)
+        with pytest.raises(ValidationError, match="max_delay_s"):
+            MicroBatchScoringService(scorer_rbm.score_samples, max_delay_s=-1.0)
+
+    def test_submit_requires_started_service(self, scorer_rbm):
+        service = MicroBatchScoringService(scorer_rbm.score_samples)
+        with pytest.raises(ValidationError, match="not started"):
+            asyncio.run(service.submit(np.zeros((1, 12))))
+
+    def test_scorer_failure_surfaces_per_request(self):
+        def broken(rows):
+            raise RuntimeError("model exploded")
+
+        with pytest.raises(RuntimeError, match="model exploded"):
+            score_batches(broken, _request_blocks(3), n_features=12)
+
+    def test_miscounting_scorer_detected(self):
+        def short(rows):
+            return np.zeros(rows.shape[0] - 1)
+
+        with pytest.raises(ValidationError, match="scores for"):
+            score_batches(short, [np.zeros((3, 12))], n_features=12)
+
+
+class TestSelfTest:
+    def test_self_test_reports_latency_and_coalescing(self, tmp_path, scorer_rbm):
+        save_model(scorer_rbm, tmp_path / "model")
+        artifact = load_model(tmp_path / "model")
+        report = run_self_test(artifact, concurrency=8, waves=3, seed=0)
+        assert report["kind"] == "rbm"
+        assert report["n_features"] == 12
+        assert report["verified_requests"] == 24
+        assert report["coalesced"]["batches"] < report["coalesced"]["requests"]
+        assert report["p50_ms"] > 0 and report["p99_ms"] >= report["p50_ms"]
+        assert report["req_per_s"] > 0
+
+
+class TestTCPFrontEnd:
+    def test_json_round_trip_and_error_path(self, tmp_path, scorer_rbm):
+        save_model(scorer_rbm, tmp_path / "model")
+        artifact = load_model(tmp_path / "model")
+        rows = (np.random.default_rng(3).random((4, 12)) < 0.5).astype(float)
+        expected = scorer_rbm.score_samples(rows)
+
+        async def drive():
+            bound = {}
+            server_task = asyncio.current_task().get_loop().create_task(
+                serve_forever(
+                    artifact,
+                    port=0,
+                    ready_callback=lambda host, port: bound.update(
+                        host=host, port=port
+                    ),
+                )
+            )
+            while not bound:
+                await asyncio.sleep(0.01)
+            reader, writer = await asyncio.open_connection(
+                bound["host"], bound["port"]
+            )
+            try:
+                writer.write(
+                    (json.dumps({"id": 1, "rows": rows.tolist()}) + "\n").encode()
+                )
+                await writer.drain()
+                good = json.loads(await reader.readline())
+                writer.write(
+                    (json.dumps({"id": 2, "rows": [[1.0, 0.0]]}) + "\n").encode()
+                )
+                await writer.drain()
+                bad = json.loads(await reader.readline())
+                writer.write(b'"not an object"\n')
+                await writer.drain()
+                malformed = json.loads(await reader.readline())
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                server_task.cancel()
+                try:
+                    await server_task
+                except asyncio.CancelledError:
+                    pass
+            return good, bad, malformed
+
+        good, bad, malformed = asyncio.run(drive())
+        assert good["id"] == 1
+        np.testing.assert_allclose(
+            np.asarray(good["scores"]), expected, rtol=1e-10, atol=1e-12
+        )
+        assert bad["id"] == 2 and "expects 12" in bad["error"]
+        assert malformed["id"] is None and "rows" in malformed["error"]
