@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-workers test-sparse run-ci serve-smoke bench bench-compare bench-compare-ci artifacts
+.PHONY: test test-workers test-procs test-sparse run-ci serve-smoke bench bench-compare bench-compare-ci artifacts
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,9 +27,15 @@ run-ci:
 ## a fresh process, and drive the micro-batched scoring service end to end
 ## (--self-test verifies the coalesced scores against direct scoring and
 ## reports per-request p50/p99 latency).
+## The multi-model extension: train a second (different-seed) artifact and
+## round-trip {"model": name}-routed requests through a 2-artifact server
+## (examples/serve_multimodel_roundtrip.py binds an ephemeral port, routes
+## a request to each model, and checks the error paths).
 serve-smoke:
 	$(PYTHON) -m repro run figure9 --set epochs=3 --save-model /tmp/repro-serve-smoke
 	$(PYTHON) -m repro serve /tmp/repro-serve-smoke --self-test
+	$(PYTHON) -m repro run figure9 --set epochs=3 --set seed=1 --save-model /tmp/repro-serve-smoke-b
+	$(PYTHON) examples/serve_multimodel_roundtrip.py /tmp/repro-serve-smoke /tmp/repro-serve-smoke-b
 
 ## Multicore leg of the CI matrix: the FULL tier-1 suite with the
 ## REPRO_WORKERS default set, so every eligible settle/AIS call runs
@@ -37,6 +43,14 @@ serve-smoke:
 ## serial contract and are env-robust; see docs/performance.md).
 test-workers:
 	REPRO_WORKERS=2 $(PYTHON) -m pytest -x -q
+
+## Process-tier leg of the CI matrix: the FULL tier-1 suite with the
+## REPRO_EXECUTOR default set to processes (2-wide), routing every
+## eligible sharded settle / AIS sweep through the spawn-pool +
+## shared-memory layer — draw-identical to the thread tier by contract,
+## so the whole suite must pass unchanged.
+test-procs:
+	REPRO_EXECUTOR=processes REPRO_WORKERS=2 $(PYTHON) -m pytest -x -q
 
 ## Run the kernel benchmark harness and refresh the evidence file
 ## (includes the multicore *_workers4 entries; their speedup is bounded by

@@ -1,0 +1,101 @@
+"""Multi-model serving round trip: route requests to two artifacts by name.
+
+The CI serve-smoke job's second act: load two saved artifact bundles,
+start ``serve_forever`` on an ephemeral port with both behind one TCP
+front end, and round-trip newline-delimited JSON requests that pick their
+model via the ``"model"`` key (each artifact is addressable by its file
+stem).  Verifies the routed scores against scoring the artifact directly,
+and that the two error paths — no model named while several are served,
+an unknown model name — fail with messages listing the choices.
+
+Run with::
+
+    python examples/serve_multimodel_roundtrip.py MODEL_A MODEL_B
+
+where each argument is an artifact bundle stem (or ``.npz``/``.json``
+path) produced by ``python -m repro run ... --save-model`` or
+:func:`repro.serve.save_model`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve import load_model, serve_forever
+
+
+async def _roundtrip(artifacts) -> None:
+    names = [Path(artifact.path).stem for artifact in artifacts]
+    bound = {}
+    server = asyncio.get_running_loop().create_task(
+        serve_forever(
+            artifacts,
+            port=0,
+            ready_callback=lambda host, port: bound.update(host=host, port=port),
+        )
+    )
+    while not bound:
+        await asyncio.sleep(0.01)
+    reader, writer = await asyncio.open_connection(bound["host"], bound["port"])
+
+    async def ask(request):
+        writer.write((json.dumps(request) + "\n").encode())
+        await writer.drain()
+        return json.loads(await reader.readline())
+
+    try:
+        rng = np.random.default_rng(0)
+        for name, artifact in zip(names, artifacts):
+            rows = artifact.example_rows(3, rng)
+            response = await ask(
+                {"id": name, "model": name, "rows": rows.tolist()}
+            )
+            if "error" in response:
+                raise SystemExit(f"routed request to {name!r} failed: {response}")
+            direct = np.asarray(artifact.scorer()(rows))
+            if not np.allclose(
+                response["scores"], direct, rtol=1e-10, atol=1e-12
+            ):
+                raise SystemExit(
+                    f"routed scores for {name!r} differ from direct scoring"
+                )
+            print(f"model {name!r}: routed scores match direct scoring")
+
+        ambiguous = await ask({"id": "none", "rows": [[0.0]]})
+        if "error" not in ambiguous or names[0] not in ambiguous["error"]:
+            raise SystemExit(
+                f"un-routed request should list the models, got: {ambiguous}"
+            )
+        unknown = await ask({"id": "bad", "model": "nope", "rows": [[0.0]]})
+        if "error" not in unknown or "nope" not in unknown["error"]:
+            raise SystemExit(
+                f"unknown model should be rejected by name, got: {unknown}"
+            )
+        print("error paths: ambiguous and unknown model names both rejected")
+    finally:
+        writer.close()
+        await writer.wait_closed()
+        server.cancel()
+        try:
+            await server
+        except asyncio.CancelledError:
+            pass
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    artifacts = [load_model(path) for path in argv]
+    asyncio.run(_roundtrip(artifacts))
+    print(f"multi-model round trip OK ({len(artifacts)} artifacts)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -136,12 +136,13 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list registered experiments and presets")
 
     serve_parser = subparsers.add_parser(
-        "serve", help="serve a saved model artifact over micro-batched TCP"
+        "serve", help="serve saved model artifacts over micro-batched TCP"
     )
     serve_parser.add_argument(
-        "artifact", metavar="ARTIFACT",
-        help="artifact bundle stem (or its .npz/.json path) from --save-model"
-             " / repro.serve.save_model",
+        "artifacts", metavar="ARTIFACT", nargs="+",
+        help="artifact bundle stem(s) (or their .npz/.json paths) from"
+             " --save-model / repro.serve.save_model; with several, requests"
+             ' route by {"model": <file stem>}',
     )
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=8787)
@@ -168,31 +169,35 @@ def _run_serve(args) -> int:
     from repro.serve import load_model, run_self_test, serve_forever
 
     try:
-        artifact = load_model(args.artifact)
+        artifacts = [load_model(path) for path in args.artifacts]
     except ValidationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
     if args.self_test:
-        try:
-            report = run_self_test(artifact)
-        except ValidationError as error:
-            print(f"error: self-test failed: {error}", file=sys.stderr)
-            return 1
-        print(
-            f"serve self-test OK: kind={report['kind']} "
-            f"n_features={report['n_features']} "
-            f"verified={report['verified_requests']} requests in "
-            f"{report['coalesced']['batches']} coalesced batches "
-            f"(max {report['coalesced']['max_batch_rows']} rows) | "
-            f"p50={report['p50_ms']:.2f}ms p99={report['p99_ms']:.2f}ms "
-            f"{report['req_per_s']:.0f} req/s"
-        )
+        for artifact in artifacts:
+            try:
+                report = run_self_test(artifact)
+            except ValidationError as error:
+                print(f"error: self-test failed: {error}", file=sys.stderr)
+                return 1
+            print(
+                f"serve self-test OK: kind={report['kind']} "
+                f"n_features={report['n_features']} "
+                f"verified={report['verified_requests']} requests in "
+                f"{report['coalesced']['batches']} coalesced batches "
+                f"(max {report['coalesced']['max_batch_rows']} rows) | "
+                f"p50={report['p50_ms']:.2f}ms p99={report['p99_ms']:.2f}ms "
+                f"{report['req_per_s']:.0f} req/s"
+            )
         return 0
 
     def _ready(host: str, port: int) -> None:
+        described = ", ".join(
+            f"{artifact.kind}:{artifact.path}" for artifact in artifacts
+        )
         print(
-            f"serving {artifact.kind} artifact {artifact.path} on "
+            f"serving {described} on "
             f"{host}:{port} (newline-delimited JSON; "
             f"max_batch={args.max_batch}, linger={args.max_delay_ms}ms)",
             flush=True,
@@ -201,7 +206,7 @@ def _run_serve(args) -> int:
     try:
         asyncio.run(
             serve_forever(
-                artifact,
+                artifacts,
                 host=args.host,
                 port=args.port,
                 max_batch_size=args.max_batch,

@@ -29,7 +29,12 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 import numpy as np
 
 from repro.analog.noise import NoiseConfig
-from repro.utils.parallel import default_workers, resolve_workers
+from repro.utils.parallel import (
+    default_executor,
+    default_workers,
+    resolve_executor,
+    resolve_workers,
+)
 from repro.utils.validation import ValidationError, check_in_range, check_positive
 
 __all__ = [
@@ -152,6 +157,13 @@ class ComputeSpec(Spec):
         Multicore knob: a positive int, ``"auto"`` (core count), or ``None``
         to defer to the ``REPRO_WORKERS`` environment default — the
         deferred form is preserved until :meth:`resolve`.
+    executor:
+        Execution tier for sharded call sites: ``"threads"`` (the default
+        tier), ``"processes"`` (spawn pool + shared-memory coupling
+        matrix; draw-identical to threads at the same ``workers``), or
+        ``None`` to defer to the ``REPRO_EXECUTOR`` environment default —
+        like ``workers``, the deferred form survives until
+        :meth:`resolve`.  A no-op while ``workers`` resolves to 1.
     fast_path:
         Cached-effective-weight / trusted-sampling kernels (the default);
         ``False`` keeps the legacy per-settle reference path.
@@ -160,6 +172,7 @@ class ComputeSpec(Spec):
     dtype: str = "float64"
     workers: Union[None, int, str] = None
     fast_path: bool = True
+    executor: Optional[str] = None
 
     def __post_init__(self) -> None:
         try:
@@ -181,17 +194,28 @@ class ComputeSpec(Spec):
             resolve_workers(self.workers)
             if isinstance(self.workers, np.integer):
                 object.__setattr__(self, "workers", int(self.workers))
+        if self.executor is not None:
+            # Validate-only, same contract as workers: the env default
+            # (REPRO_EXECUTOR) is read at resolve() time, not here.
+            resolve_executor(self.executor)
 
     def resolve(self) -> "ComputeSpec":
-        """Expand ``workers``: env default (``REPRO_WORKERS``) and ``"auto"``.
+        """Expand ``workers``/``executor``: env defaults and ``"auto"``.
 
-        This is the single place the environment variable is parsed on the
-        spec path; garbage values raise a :class:`ValidationError` naming
-        ``REPRO_WORKERS`` (see :func:`repro.utils.parallel.default_workers`)
-        instead of leaking a bare ``int()`` traceback.
+        This is the single place the environment variables are parsed on
+        the spec path; garbage values raise a :class:`ValidationError`
+        naming ``REPRO_WORKERS`` / ``REPRO_EXECUTOR`` (see
+        :mod:`repro.utils.parallel`) instead of leaking a bare ``int()``
+        traceback.
         """
         workers = default_workers() if self.workers is None else resolve_workers(self.workers)
-        return self if workers == self.workers else self.replace(workers=workers)  # type: ignore[return-value]
+        executor = default_executor() if self.executor is None else resolve_executor(self.executor)
+        changes: Dict[str, Any] = {}
+        if workers != self.workers:
+            changes["workers"] = workers
+        if executor != self.executor:
+            changes["executor"] = executor
+        return self.replace(**changes) if changes else self  # type: ignore[return-value]
 
 
 @dataclass(frozen=True)
@@ -619,7 +643,7 @@ class RunSpec(Spec):
         for key, value in self.params.items():
             if not isinstance(key, str):
                 raise ValidationError(f"params keys must be strings, got {key!r}")
-            if key in ("seed", "dtype", "workers", "fast_path"):
+            if key in ("seed", "dtype", "workers", "fast_path", "executor"):
                 raise ValidationError(
                     f"params may not carry {key!r}; set it through the typed "
                     "RunSpec fields (seed / compute) so it is recorded once"
@@ -630,10 +654,11 @@ class RunSpec(Spec):
     def with_overrides(self, **settings: Any) -> "RunSpec":
         """Apply ``--set``-style overrides, routing each key to its field.
 
-        Compute knobs (``dtype``, ``workers``, ``fast_path``) land in
-        :attr:`compute` (created on demand), ``seed`` in :attr:`seed`, and
-        everything else in :attr:`params`.  The preset label flips to
-        ``"custom"`` so recorded metadata distinguishes overridden runs.
+        Compute knobs (``dtype``, ``workers``, ``fast_path``, ``executor``)
+        land in :attr:`compute` (created on demand), ``seed`` in
+        :attr:`seed`, and everything else in :attr:`params`.  The preset
+        label flips to ``"custom"`` so recorded metadata distinguishes
+        overridden runs.
         """
         if not settings:
             return self
@@ -641,7 +666,7 @@ class RunSpec(Spec):
         seed = self.seed
         params = dict(self.params)
         for key, value in settings.items():
-            if key in ("dtype", "workers", "fast_path"):
+            if key in ("dtype", "workers", "fast_path", "executor"):
                 compute = (compute or ComputeSpec()).replace(**{key: value})
             elif key == "seed":
                 seed = value

@@ -63,6 +63,7 @@ def _logprob_recorder(
     seed: int,
     dtype: str = "float64",
     workers=None,
+    executor=None,
 ):
     """Build a per-epoch callback appending the AIS average log probability."""
 
@@ -70,7 +71,7 @@ def _logprob_recorder(
         trajectory.append(
             average_log_probability(
                 rbm, data, n_chains=n_chains, n_betas=n_betas, rng=seed + epoch,
-                dtype=dtype, workers=workers,
+                dtype=dtype, workers=workers, executor=executor,
             )
         )
 
@@ -91,6 +92,7 @@ def run_figure7(
     dtype: str = "float64",
     train_samples: Optional[int] = None,
     workers: "int | str | None" = None,
+    executor: Optional[str] = None,
     seed: int = 0,
 ) -> ExperimentResult:
     """Train with CD-1, CD-10 and BGF and record log-probability trajectories.
@@ -111,7 +113,10 @@ def run_figure7(
     ``workers`` is the multicore knob, threaded into the GS trainer's
     sharded negative phase, the BGF trainer's particle refresh, and the
     AIS estimator's threaded chain pool (``"auto"`` = core count; the
-    default of ``None`` keeps the serial, bit-identical kernels).  The
+    default of ``None`` keeps the serial, bit-identical kernels);
+    ``executor`` picks the execution tier for those sharded paths
+    (``"threads"``/``"processes"``, draw-identical at the same worker
+    count; ``None`` defers to ``REPRO_EXECUTOR``).  The
     defaults leave the CI-scale output contract untouched — pinned by
     ``tests/experiments/test_golden_schemas.py``.
     """
@@ -144,12 +149,12 @@ def run_figure7(
         base_rbm.init_visible_bias_from_data(data)
         initial_logprob = average_log_probability(
             base_rbm, data, n_chains=ais_chains, n_betas=ais_betas, rng=seed,
-            dtype=dtype, workers=workers,
+            dtype=dtype, workers=workers, executor=executor,
         )
 
         # Trainers are built through the typed spec layer (the kwarg-style
         # constructors are deprecated shims over the same code path).
-        hardware_compute = ComputeSpec(dtype=dtype, workers=workers)
+        hardware_compute = ComputeSpec(dtype=dtype, workers=workers, executor=executor)
         factories = {
             "cd1": lambda: CDTrainer(
                 spec=TrainerSpec.cd(learning_rate, cd_k=1, batch_size=batch_size),
@@ -187,7 +192,7 @@ def run_figure7(
             trajectory: List[float] = [float(initial_logprob)]
             trainer.callback = _logprob_recorder(
                 data, trajectory, n_chains=ais_chains, n_betas=ais_betas, seed=seed,
-                dtype=dtype, workers=workers,
+                dtype=dtype, workers=workers, executor=executor,
             )
             rbm = base_rbm.copy()
             trainer.train(rbm, data, epochs=epochs)
@@ -217,6 +222,7 @@ def run_figure7(
             "dtype": str(dtype),
             "train_samples": train_samples,
             "workers": workers,
+            "executor": executor,
             "seed": seed,
         },
     )

@@ -43,13 +43,14 @@ TABLE4_IMAGE_BENCHMARKS: Sequence[str] = (
 
 def _make_trainer(
     method: str, *, learning_rate: float, batch_size: int, rng, gs_chains: int = 8,
-    dtype: str = "float64", workers=None,
+    dtype: str = "float64", workers=None, executor=None,
 ):
     """Build the per-layer trainer for ``method`` ('cd10', 'bgf' or 'gs').
 
     ``dtype`` selects the substrate precision tier for the hardware methods
     (BGF and GS); the software CD reference always trains in float64.
-    ``workers`` threads the hardware methods' sharded settle layer.  All
+    ``workers`` threads the hardware methods' sharded settle layer and
+    ``executor`` picks its execution tier (threads/processes).  All
     three build through the typed spec layer (:mod:`repro.config`).
     """
     if method == "cd10":
@@ -57,7 +58,7 @@ def _make_trainer(
             spec=TrainerSpec.cd(learning_rate, cd_k=10, batch_size=batch_size),
             rng=rng,
         )
-    hardware_compute = ComputeSpec(dtype=dtype, workers=workers)
+    hardware_compute = ComputeSpec(dtype=dtype, workers=workers, executor=executor)
     if method == "bgf":
         return BGFTrainer(
             spec=TrainerSpec.bgf(
@@ -95,7 +96,7 @@ def _standardize(train: np.ndarray, test: np.ndarray) -> tuple:
 def _rbm_feature_accuracy(
     dataset, n_hidden: int, method: str, *, epochs: int, learning_rate: float,
     batch_size: int, seed: int, gs_chains: int = 8, dtype: str = "float64",
-    train_samples: Optional[int] = None, workers=None,
+    train_samples: Optional[int] = None, workers=None, executor=None,
 ) -> float:
     """Accuracy of a logistic head on single-RBM features trained by ``method``."""
     rngs = spawn_rngs(seed, 3)
@@ -107,7 +108,7 @@ def _rbm_feature_accuracy(
     rbm.init_visible_bias_from_data(train_x)
     trainer = _make_trainer(
         method, learning_rate=learning_rate, batch_size=batch_size, rng=rngs[1],
-        gs_chains=gs_chains, dtype=dtype, workers=workers,
+        gs_chains=gs_chains, dtype=dtype, workers=workers, executor=executor,
     )
     trainer.train(rbm, train_x, epochs=epochs)
     features_train, features_test = _standardize(
@@ -157,6 +158,7 @@ def run_table4(
     dtype: str = "float64",
     train_samples: Optional[int] = None,
     workers: "int | str | None" = None,
+    executor: Optional[str] = None,
     seed: int = 0,
 ) -> ExperimentResult:
     """Regenerate Table 4: quality metric per benchmark for cd-10 and BGF.
@@ -170,7 +172,9 @@ def run_table4(
     ``train_samples`` caps the image-benchmark training rows for downsized
     smoke runs; ``workers`` is the multicore knob for the hardware trainers
     (sharded settles / particle refresh; ``"auto"`` = core count, ``None``
-    keeps the serial kernels).  The defaults leave the CI-scale output
+    keeps the serial kernels) and ``executor`` its execution tier
+    (``"threads"``/``"processes"``, draw-identical at the same worker
+    count).  The defaults leave the CI-scale output
     contract untouched — pinned by
     ``tests/experiments/test_golden_schemas.py``.
     """
@@ -187,7 +191,7 @@ def run_table4(
                 epochs=epochs, learning_rate=learning_rate,
                 batch_size=batch_size, seed=seed + index,
                 gs_chains=gs_chains or 8, dtype=dtype,
-                train_samples=train_samples, workers=workers,
+                train_samples=train_samples, workers=workers, executor=executor,
             )
         if include_dbn and cfg.has_dbn:
             layers = (
@@ -257,6 +261,7 @@ def run_table4(
             "dtype": str(dtype),
             "train_samples": train_samples,
             "workers": workers,
+            "executor": executor,
             "seed": seed,
         },
     )

@@ -36,7 +36,11 @@ from repro.analog.sigmoid_unit import SigmoidUnit
 from repro.config.specs import ComputeSpec, NoiseSpec, SubstrateSpec
 from repro.utils.deprecation import warn_kwargs_deprecated
 from repro.utils.parallel import (
+    ProcessShardedExecutor,
     ShardedExecutor,
+    SharedNDArray,
+    attach_shared_array,
+    resolve_executor,
     resolve_workers,
     shard_seed_sequence,
     shard_slices,
@@ -64,6 +68,183 @@ class _ShardContext(NamedTuple):
     hidden_sampler: StochasticNeuronSampler
     visible_sampler: StochasticNeuronSampler
     noise_model: Optional[NoiseModel]
+
+
+class _ShardKernel(NamedTuple):
+    """Picklable snapshot of the settle evaluation's static inputs.
+
+    Everything the settle loop needs beyond the coupling matrix and a
+    shard's circuits: biases, sigmoid units, the precision tier, and the
+    fused-latch eligibility.  Built fresh per settle call (reprogramming
+    swaps the bias arrays), cheap to construct, and — critically — small
+    enough to pickle per task: the p×(n·m) coupling data travels through
+    shared memory instead (see ``_process_settle_shard``).
+    """
+
+    hidden_bias: np.ndarray
+    visible_bias: np.ndarray
+    hidden_sigmoid: SigmoidUnit
+    visible_sigmoid: SigmoidUnit
+    dtype: np.dtype
+    fused_sampling: bool
+
+
+def _dynamic_pair_kernel(
+    static_pair: Tuple[np.ndarray, np.ndarray],
+    noise_model: Optional[NoiseModel],
+    dtype: np.dtype,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply fresh dynamic coupling noise (when configured) to the cached
+    static pair — the per-evaluation half of the coupling realization,
+    shared by the serial, thread-sharded and process-sharded kernels
+    (``noise_model`` selects whose stream draws; ``None`` means the ideal
+    no-noise corner)."""
+    if noise_model is None:
+        return static_pair
+    effective = np.asarray(noise_model.apply_dynamic(static_pair[0]), dtype=dtype)
+    return effective, effective.T
+
+
+def _field_kernel(
+    state: np.ndarray,
+    coupling: np.ndarray,
+    bias: np.ndarray,
+    noise_model: Optional[NoiseModel],
+) -> np.ndarray:
+    """Fast-path field kernel: summed currents plus (conditional) node noise.
+
+    Single source shared by the substrate's public field methods, the
+    trusted samplers, and every sharded settle tier, so they cannot drift
+    apart.  Runs in the coupling's precision tier; ``noise_model`` selects
+    whose stream the node noise draws from, ``None`` skips it (the
+    noise-free corner)."""
+    if state.dtype != coupling.dtype:
+        state = state.astype(coupling.dtype)
+    # safe_sparse_dot falls through to the plain operator for dense
+    # states (bit-identical); CSR clamp states run the sparse matmul and
+    # densify here, at the field — the Bernoulli-draw boundary.
+    field = safe_sparse_dot(state, coupling)
+    field += bias
+    if noise_model is not None:
+        scale = max(float(np.std(field)), 1.0)
+        field += noise_model.node_noise(field.shape, scale=scale)
+    return field
+
+
+def _settle_eval_kernel(
+    state: np.ndarray,
+    static_pair: Tuple[np.ndarray, np.ndarray],
+    ctx: _ShardContext,
+    kern: _ShardKernel,
+    *,
+    hidden_side: bool,
+) -> np.ndarray:
+    """One settle-and-latch: the single evaluation kernel behind the serial
+    trusted samplers and both sharded settle tiers.
+
+    The per-evaluation order is fixed — dynamic coupling draw, field
+    (matmul + bias + node noise), latch — and ``ctx`` selects whose
+    circuits draw: the substrate's own (the serial path) or a worker
+    shard's substream clones.  A module-level function (not a method) so a
+    spawned worker process can run the *same body* on a pickled context —
+    one body means no executor tier can diverge from another.
+    """
+    effective, effective_t = _dynamic_pair_kernel(static_pair, ctx.noise_model, kern.dtype)
+    coupling = effective if hidden_side else effective_t
+    bias = kern.hidden_bias if hidden_side else kern.visible_bias
+    field = _field_kernel(state, coupling, bias, ctx.noise_model)
+    sampler = ctx.hidden_sampler if hidden_side else ctx.visible_sampler
+    if kern.fused_sampling:
+        return sampler.sample_from_field(field)
+    unit = kern.hidden_sigmoid if hidden_side else kern.visible_sigmoid
+    latch = sampler.sample(unit(field), validate=False)
+    # Noisy-corner sigmoid math may run in float64; binary latches cast
+    # back into the tier exactly, keeping chain states dtype-stable.
+    return latch if latch.dtype == kern.dtype else latch.astype(kern.dtype)
+
+
+def _settle_loop_kernel(
+    hidden: np.ndarray,
+    n_steps: int,
+    static_pair: Tuple[np.ndarray, np.ndarray],
+    ctx: _ShardContext,
+    kern: _ShardKernel,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Advance one chain block for ``n_steps`` alternating settles under
+    ``ctx``'s circuits — a worker shard's, or the substrate's own (the
+    serial fast path is the single-block case of this loop)."""
+    visible = _settle_eval_kernel(hidden, static_pair, ctx, kern, hidden_side=False)
+    for _ in range(n_steps - 1):
+        hidden = _settle_eval_kernel(visible, static_pair, ctx, kern, hidden_side=True)
+        visible = _settle_eval_kernel(hidden, static_pair, ctx, kern, hidden_side=False)
+    hidden = _settle_eval_kernel(visible, static_pair, ctx, kern, hidden_side=True)
+    return visible, hidden
+
+
+def _light_context(ctx: _ShardContext) -> _ShardContext:
+    """A pickling-weight clone of a shard context for process dispatch.
+
+    The settle loop only ever calls ``apply_dynamic``/``node_noise`` on a
+    shard's noise model — never ``static_effective`` — because the chip's
+    variation gain is already folded into the shared static matrix.  So
+    the m×n ``_coupling_gain`` product is stripped before the context
+    crosses the pickle boundary: the per-task payload stays O(shard rows),
+    never O(n·m).  The samplers are shipped as-is (their comparator
+    offsets are O(n) and shared by reference parent-side)."""
+    noise_model = ctx.noise_model
+    if noise_model is None:
+        return ctx
+    light = object.__new__(NoiseModel)
+    light.config = noise_model.config
+    light.coupling_shape = noise_model.coupling_shape
+    light._rng = noise_model._rng
+    light._coupling_gain = None
+    return ctx._replace(noise_model=light)
+
+
+def _context_rng_states(ctx: _ShardContext) -> Tuple[dict, dict, Optional[dict]]:
+    """The context's current RNG positions (bit-generator state dicts)."""
+    return (
+        ctx.hidden_sampler.noise_source._rng.bit_generator.state,
+        ctx.visible_sampler.noise_source._rng.bit_generator.state,
+        None if ctx.noise_model is None else ctx.noise_model._rng.bit_generator.state,
+    )
+
+
+def _restore_context_rng_states(
+    ctx: _ShardContext, states: Tuple[dict, dict, Optional[dict]]
+) -> None:
+    """Write a worker's advanced RNG positions back into the parent's cached
+    context — the step that keeps shard streams stateful across calls when
+    the draws happened in another process."""
+    hidden_state, visible_state, noise_state = states
+    ctx.hidden_sampler.noise_source._rng.bit_generator.state = hidden_state
+    ctx.visible_sampler.noise_source._rng.bit_generator.state = visible_state
+    if noise_state is not None and ctx.noise_model is not None:
+        ctx.noise_model._rng.bit_generator.state = noise_state
+
+
+def _process_settle_shard(task):
+    """Worker body for one process-sharded settle task.
+
+    ``task`` is ``(descriptor, hidden_rows, n_steps, ctx, kern)``: the
+    shared-memory descriptor of the static coupling matrix, the shard's
+    chain rows, and the pickled shard circuits.  Attaches a zero-copy view
+    over the published matrix, runs the same settle loop as every other
+    tier, and returns the results plus the advanced RNG states so the
+    parent can keep its cached streams in sync.  Runs inline in the parent
+    when the dispatcher decides a pool would not pay (same code path).
+    """
+    descriptor, hidden, n_steps, ctx, kern = task
+    segment, static = attach_shared_array(descriptor)
+    try:
+        static_pair = (static, static.T)
+        visible, hidden_out = _settle_loop_kernel(hidden, n_steps, static_pair, ctx, kern)
+    finally:
+        # Sampler outputs are fresh arrays — nothing returned can alias the
+        # segment, so unmapping here is safe.
+        segment.close()
+    return visible, hidden_out, _context_rng_states(ctx)
 
 
 class BipartiteIsingSubstrate:
@@ -234,6 +415,12 @@ class BipartiteIsingSubstrate:
         # single-owner (see docs/performance.md, "Thread safety").
         self._eff_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._cache_lock = threading.Lock()
+        # Shared-memory publication of the static effective matrix for the
+        # process executor tier: created lazily on the first process-sharded
+        # settle, reused until the next (re)programming/invalidation drops
+        # it (see _drop_effective_cache).  The SharedNDArray carries its own
+        # GC finalizer, so an abandoned substrate cannot leak the segment.
+        self._shm_static: Optional[SharedNDArray] = None
         # Per-worker-count shard circuits, built lazily from the shard
         # seed root (stream 6) and cached so shard streams stay stateful
         # across settle calls — fixed (seed, workers) is reproducible run
@@ -274,7 +461,7 @@ class BipartiteIsingSubstrate:
         self.hidden_bias = check_array(
             hidden_bias, name="hidden_bias", shape=(self.n_hidden,)
         ).astype(self.dtype)
-        self._eff_cache = None
+        self._drop_effective_cache()
 
     def program_trusted(
         self,
@@ -305,11 +492,22 @@ class BipartiteIsingSubstrate:
         self.weights = weights
         self.visible_bias = visible_bias
         self.hidden_bias = hidden_bias
-        self._eff_cache = None
+        self._drop_effective_cache()
 
     def invalidate_effective_weights(self) -> None:
         """Drop the cached effective couplings (after in-place weight edits)."""
-        self._eff_cache = None
+        self._drop_effective_cache()
+
+    def _drop_effective_cache(self) -> None:
+        """Invalidate the effective-coupling cache *and* its shared-memory
+        publication — the single invalidation point shared by ``program``,
+        ``program_trusted`` and the BGF's in-place charge-pump updates, so
+        a process-sharded settle can never read a stale coupling matrix."""
+        with self._cache_lock:
+            self._eff_cache = None
+            shm, self._shm_static = self._shm_static, None
+        if shm is not None:
+            shm.close()
 
     @property
     def _chain_skip_clamp(self) -> bool:
@@ -387,15 +585,10 @@ class BipartiteIsingSubstrate:
         noise_model: Optional[NoiseModel],
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Apply fresh dynamic coupling noise (when configured) to the cached
-        static pair — the per-evaluation half of the coupling realization,
-        shared by the serial and sharded kernels (``noise_model`` selects
-        whose stream draws; ``None`` means the ideal no-noise corner)."""
-        if noise_model is None:
-            return static_pair
-        effective = np.asarray(
-            noise_model.apply_dynamic(static_pair[0]), dtype=self.dtype
-        )
-        return effective, effective.T
+        static pair — delegates to the module-level kernel shared with the
+        worker processes (``noise_model`` selects whose stream draws;
+        ``None`` means the ideal no-noise corner)."""
+        return _dynamic_pair_kernel(static_pair, noise_model, self.dtype)
 
     def _static_pair(self) -> Tuple[np.ndarray, np.ndarray]:
         """The cached static (variation-scaled) coupling pair, built safely.
@@ -436,28 +629,16 @@ class BipartiteIsingSubstrate:
         bias: np.ndarray,
         noise_model: Optional[NoiseModel] = None,
     ) -> np.ndarray:
-        """Fast-path field kernel: summed currents plus (conditional) node
-        noise.  Single source shared by the public field methods and the
-        trusted/sharded samplers, so they cannot drift apart.  Runs in the
-        substrate's precision tier: the state is cast into the coupling's
-        dtype when needed (a no-op on the float64 tier), the matmul runs in
-        that dtype, and in-place adds keep dynamic float64 noise draws from
-        upcasting a float32 field.  ``noise_model`` selects whose stream the
-        node noise draws from (a worker shard's substream clone); ``None``
-        means the substrate's own."""
-        if state.dtype != coupling.dtype:
-            state = state.astype(coupling.dtype)
-        # safe_sparse_dot falls through to the plain operator for dense
-        # states (bit-identical); CSR clamp states run the sparse matmul and
-        # densify here, at the field — the Bernoulli-draw boundary.
-        field = safe_sparse_dot(state, coupling)
-        field += bias
-        if self._has_dynamic:
-            if noise_model is None:
-                noise_model = self.noise_model
-            scale = max(float(np.std(field)), 1.0)
-            field += noise_model.node_noise(field.shape, scale=scale)
-        return field
+        """Fast-path field kernel — delegates to the module-level
+        :func:`_field_kernel` shared with the worker processes.
+        ``noise_model`` selects whose stream the node noise draws from (a
+        worker shard's substream clone); ``None`` means the substrate's
+        own, and the noise-free corner skips the draw entirely."""
+        if not self._has_dynamic:
+            noise_model = None
+        elif noise_model is None:
+            noise_model = self.noise_model
+        return _field_kernel(state, coupling, bias, noise_model)
 
     def hidden_field(self, visible: np.ndarray) -> np.ndarray:
         """Summed column currents seen by the hidden nodes (plus node noise)."""
@@ -498,27 +679,24 @@ class BipartiteIsingSubstrate:
         *,
         hidden_side: bool,
     ) -> np.ndarray:
-        """One settle-and-latch: the single evaluation kernel behind both
-        the serial trusted samplers and the sharded settle loop.
+        """One settle-and-latch — delegates to the module-level
+        :func:`_settle_eval_kernel` shared with the worker processes, so
+        no executor tier can diverge from the serial trusted samplers."""
+        return _settle_eval_kernel(
+            state, static_pair, ctx, self._kernel(), hidden_side=hidden_side
+        )
 
-        The per-evaluation order is fixed — dynamic coupling draw, field
-        (matmul + bias + node noise), latch — and ``ctx`` selects whose
-        circuits draw: the substrate's own (the serial path) or a worker
-        shard's substream clones.  One body means a future change to the
-        evaluation physics cannot diverge ``workers=1`` from ``workers=k``.
-        """
-        effective, effective_t = self._dynamic_pair(static_pair, ctx.noise_model)
-        coupling = effective if hidden_side else effective_t
-        bias = self.hidden_bias if hidden_side else self.visible_bias
-        field = self._field(state, coupling, bias, noise_model=ctx.noise_model)
-        sampler = ctx.hidden_sampler if hidden_side else ctx.visible_sampler
-        if self._fused_sampling:
-            return sampler.sample_from_field(field)
-        unit = self.hidden_sigmoid if hidden_side else self.visible_sigmoid
-        latch = sampler.sample(unit(field), validate=False)
-        # Noisy-corner sigmoid math may run in float64; binary latches cast
-        # back into the tier exactly, keeping chain states dtype-stable.
-        return latch if latch.dtype == self.dtype else latch.astype(self.dtype)
+    def _kernel(self) -> _ShardKernel:
+        """Snapshot the settle kernel's static inputs (built per call —
+        reprogramming swaps the bias arrays out from under a cached one)."""
+        return _ShardKernel(
+            hidden_bias=self.hidden_bias,
+            visible_bias=self.visible_bias,
+            hidden_sigmoid=self.hidden_sigmoid,
+            visible_sigmoid=self.visible_sigmoid,
+            dtype=self.dtype,
+            fused_sampling=self._fused_sampling,
+        )
 
     def _sample_hidden_trusted(self, clamped: np.ndarray) -> np.ndarray:
         """Trusted settle-and-latch: ``clamped`` is 2-D float, DTC-driven."""
@@ -602,14 +780,10 @@ class BipartiteIsingSubstrate:
         ctx: _ShardContext,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Advance one chain block for ``n_steps`` alternating settles under
-        ``ctx``'s circuits — a worker shard's, or the substrate's own (the
+        ``ctx``'s circuits — delegates to the module-level
+        :func:`_settle_loop_kernel` shared with the worker processes (the
         serial fast path is the single-block case of this loop)."""
-        visible = self._settle_eval(hidden, static_pair, ctx, hidden_side=False)
-        for _ in range(n_steps - 1):
-            hidden = self._settle_eval(visible, static_pair, ctx, hidden_side=True)
-            visible = self._settle_eval(hidden, static_pair, ctx, hidden_side=False)
-        hidden = self._settle_eval(visible, static_pair, ctx, hidden_side=True)
-        return visible, hidden
+        return _settle_loop_kernel(hidden, n_steps, static_pair, ctx, self._kernel())
 
     def _shard_incompatibility(self) -> Optional[str]:
         """Why this substrate cannot shard its settles, or ``None`` if it can.
@@ -669,6 +843,65 @@ class BipartiteIsingSubstrate:
             np.concatenate([pair[1] for pair in results], axis=0),
         )
 
+    def _shared_static(self) -> SharedNDArray:
+        """The static effective matrix, published once into shared memory.
+
+        Built (or reused) lazily by the process-sharded settle path; the
+        publication is dropped and unlinked by ``_drop_effective_cache`` at
+        every point the static pair itself invalidates — reprogramming and
+        the BGF's in-place charge-pump writes — so worker views can never
+        observe a stale program.
+
+        Returns the publication *pinned* (caller must ``release()``): an
+        invalidation racing the settle then defers the segment's unlink
+        until the in-flight workers are done with it — same staleness
+        semantics as the thread tier, where a settle keeps the pair it
+        grabbed at entry.  The identity re-check below keeps an
+        invalidation that lands between the pair build and the publication
+        from caching a stale matrix for *future* settles.
+        """
+        while True:
+            static_pair = self._static_pair()
+            with self._cache_lock:
+                if self._eff_cache is not static_pair:
+                    continue  # invalidated mid-build; rebuild and re-publish
+                if self._shm_static is None:
+                    self._shm_static = SharedNDArray(static_pair[0])
+                return self._shm_static.pin()
+
+    def _settle_batch_procs(
+        self, hidden: np.ndarray, n_steps: int, workers: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Shard the chain block row-wise and settle the shards in processes.
+
+        Identical draws to the thread tier by construction: the same shard
+        contexts (current RNG positions included) are pickled to the
+        workers, the same settle loop runs there against a zero-copy view
+        of the shared static matrix, and the advanced RNG states are
+        written back into the parent's cached contexts afterwards — so
+        shard streams stay stateful across calls exactly as they do under
+        threads, and the executor knob never changes what is drawn.
+        """
+        shared = self._shared_static()
+        try:
+            contexts = self._shard_contexts_for(workers)
+            slices = shard_slices(hidden.shape[0], workers)
+            kern = self._kernel()
+            descriptor = shared.descriptor
+            tasks = [
+                (descriptor, hidden[rows], n_steps, _light_context(contexts[index]), kern)
+                for index, rows in enumerate(slices)
+            ]
+            results = ProcessShardedExecutor(workers).map(_process_settle_shard, tasks)
+        finally:
+            shared.release()
+        for index, (_, _, states) in enumerate(results):
+            _restore_context_rng_states(contexts[index], states)
+        return (
+            np.concatenate([shard[0] for shard in results], axis=0),
+            np.concatenate([shard[1] for shard in results], axis=0),
+        )
+
     # ------------------------------------------------------------------ #
     # Chains (the hardware "random walk")
     # ------------------------------------------------------------------ #
@@ -678,6 +911,7 @@ class BipartiteIsingSubstrate:
         n_steps: int,
         *,
         workers: "int | str | None" = None,
+        executor: Optional[str] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Evolve ``p`` independent chains in parallel for ``n_steps`` settles.
 
@@ -711,6 +945,15 @@ class BipartiteIsingSubstrate:
         noise-free DTC/sigmoid-output draws (dynamic coupling/node noise is
         fine — each shard perturbs its replica from its own substream).
 
+        ``executor`` picks the execution tier for a sharded settle:
+        ``"threads"`` (the default) or ``"processes"`` (a spawn pool fed
+        zero-copy views of the shared-memory static coupling matrix) —
+        **draw-identical** to threads at the same ``workers=k``, because
+        the same shard contexts run the same settle loop and their
+        advanced RNG states are written back (``None`` defers to
+        ``REPRO_EXECUTOR``/``"threads"``).  A no-op until the call
+        actually shards.
+
         Returns the final ``(visible, hidden)`` samples, shaped
         ``(p, n_visible)`` and ``(p, n_hidden)``, in the substrate's
         precision tier (``self.dtype``) — a float32 substrate returns
@@ -720,6 +963,7 @@ class BipartiteIsingSubstrate:
         """
         explicit = workers is not None
         workers = resolve_workers(workers)
+        executor = resolve_executor(executor)
         if n_steps < 1:
             raise ValidationError(f"n_steps must be >= 1, got {n_steps}")
         hidden = check_binary(
@@ -728,6 +972,8 @@ class BipartiteIsingSubstrate:
         if workers > 1 and hidden.shape[0] > 1:
             reason = self._shard_incompatibility()
             if reason is None:
+                if executor == "processes":
+                    return self._settle_batch_procs(hidden, n_steps, workers)
                 return self._settle_batch_sharded(hidden, n_steps, workers)
             if explicit:
                 raise ValidationError(reason)
@@ -759,17 +1005,18 @@ class BipartiteIsingSubstrate:
         n_steps: int,
         *,
         workers: "int | str | None" = None,
+        executor: Optional[str] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Run ``n_steps`` alternating settles starting from a hidden state.
 
         Mirrors the negative phase of Algorithm 1 / the annealing trajectory
         of the BGF's negative sample: hidden -> visible -> hidden, repeated.
         Delegates to :meth:`settle_batch` (a chain is the single- or
-        multi-row case of the chain-parallel kernel, and ``workers`` is
-        forwarded to its sharded execution layer) and returns the final
-        ``(visible, hidden)`` samples.
+        multi-row case of the chain-parallel kernel; ``workers`` and
+        ``executor`` are forwarded to its sharded execution layer) and
+        returns the final ``(visible, hidden)`` samples.
         """
-        return self.settle_batch(hidden_init, n_steps, workers=workers)
+        return self.settle_batch(hidden_init, n_steps, workers=workers, executor=executor)
 
     def reconstruct(self, visible: np.ndarray) -> np.ndarray:
         """Mean-field reconstruction through the analog sigmoid units."""

@@ -27,7 +27,11 @@ from repro.utils.numerics import (
     sigmoid,
 )
 from repro.utils.parallel import (
+    ProcessShardedExecutor,
     ShardedExecutor,
+    SharedNDArray,
+    attach_shared_array,
+    resolve_executor,
     resolve_workers,
     shard_seed_sequence,
     shard_slices,
@@ -45,6 +49,146 @@ from repro.utils.validation import (
 #: spawn tree of the same master seed — shard substreams can never alias a
 #: component that spawned from the caller's generator.
 AIS_SHARD_ROOT_KEY = 0x41495350
+
+
+def _ais_log_unnormalized(
+    weights: np.ndarray,
+    visible_bias: np.ndarray,
+    hidden_bias: np.ndarray,
+    base_bias: np.ndarray,
+    v: np.ndarray,
+    beta: float,
+) -> np.ndarray:
+    """log p*_beta(v) of the interpolated distribution (module-level so the
+    legacy reference sweep can run in a worker process)."""
+    hidden_input = beta * (v @ weights + hidden_bias)
+    return (
+        (1.0 - beta) * (v @ base_bias)
+        + beta * (v @ visible_bias)
+        + np.sum(log1pexp(hidden_input), axis=1)
+    )
+
+
+def _ais_transition(
+    weights: np.ndarray,
+    visible_bias: np.ndarray,
+    hidden_bias: np.ndarray,
+    base_bias: np.ndarray,
+    v: np.ndarray,
+    beta: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One Gibbs transition that leaves the beta-interpolated model invariant."""
+    h_prob = sigmoid(beta * (v @ weights + hidden_bias))
+    h = bernoulli_sample(h_prob, rng)
+    v_field = beta * (h @ weights.T + visible_bias) + (1.0 - beta) * base_bias
+    return bernoulli_sample(sigmoid(v_field), rng)
+
+
+def _ais_sweep(
+    weights: np.ndarray,
+    visible_bias: np.ndarray,
+    hidden_bias: np.ndarray,
+    base_bias: np.ndarray,
+    betas: list,
+    n_chains: int,
+    rng: np.random.Generator,
+    *,
+    fast_path: bool,
+    dtype: np.dtype,
+) -> np.ndarray:
+    """Run the full beta sweep for ``n_chains`` particles on ``rng``.
+
+    The whole estimator minus the seed/shard bookkeeping, as a module-level
+    function of plain arrays: the serial path calls it once with the
+    estimator's own generator (bit-identical to the pre-threading
+    implementation), the threaded pool calls it once per shard with that
+    shard's substream, and a spawned worker process runs the *same body* on
+    a zero-copy shared-memory view of ``weights`` — the chains are mutually
+    independent, so the sweep is identical on every tier.
+    """
+    # Initial samples from the base-rate model.
+    v = bernoulli_sample(np.tile(sigmoid(base_bias), (n_chains, 1)), rng)
+    log_w = np.zeros(n_chains)
+    if fast_path:
+        # Vectorized sweep: one (chains x n_hidden) input matmul per
+        # temperature, shared by the weight update at both adjacent betas
+        # (through the fused softplus-difference kernel) and by the Gibbs
+        # transition; the visible-bias gap against the base rate
+        # collapses to a single hoisted vector.  On the float32 tier the
+        # parameters are quantized once up front, the matmuls and draws
+        # run in single precision, and log_w stays float64.
+        tier32 = dtype == np.float32
+        weights = np.asarray(weights, dtype=dtype)
+        weights_t = weights.T
+        hidden_bias = np.asarray(hidden_bias, dtype=dtype)
+        visible_bias = np.asarray(visible_bias, dtype=dtype)
+        base = np.asarray(base_bias, dtype=dtype)
+        bias_gap = visible_bias - base
+        if tier32:
+            v = v.astype(dtype)
+        for prev_beta, beta in zip(betas[:-1], betas[1:]):
+            hidden_in = v @ weights + hidden_bias
+            log_w += (beta - prev_beta) * (v @ bias_gap)
+            log_w += np.sum(
+                log1pexp_diff(hidden_in, beta, prev_beta),
+                axis=1,
+                dtype=np.float64,
+            )
+            if tier32:
+                h = fused_sigmoid_bernoulli(
+                    beta * hidden_in,
+                    rng.random(hidden_in.shape, dtype=np.float32),
+                )
+                v_field = beta * (h @ weights_t + visible_bias)
+                v_field += (1.0 - beta) * base
+                v = fused_sigmoid_bernoulli(
+                    v_field, rng.random(v_field.shape, dtype=np.float32)
+                )
+            else:
+                h = bernoulli_sample(sigmoid(beta * hidden_in), rng)
+                v_field = (
+                    beta * (h @ weights_t + visible_bias)
+                    + (1.0 - beta) * base
+                )
+                v = bernoulli_sample(sigmoid(v_field), rng)
+    else:
+        for prev_beta, beta in zip(betas[:-1], betas[1:]):
+            log_w += _ais_log_unnormalized(
+                weights, visible_bias, hidden_bias, base_bias, v, beta
+            )
+            log_w -= _ais_log_unnormalized(
+                weights, visible_bias, hidden_bias, base_bias, v, prev_beta
+            )
+            v = _ais_transition(
+                weights, visible_bias, hidden_bias, base_bias, v, beta, rng
+            )
+    return log_w
+
+
+def _process_ais_sweep(task):
+    """Worker body for one process-sharded AIS shard.
+
+    ``task`` carries the shared-memory descriptor of the weight matrix, the
+    (small) bias vectors, the shard's chain count and its generator — whose
+    pickled state is exactly the parent's cached substream position.  Runs
+    the same sweep as every other tier and returns the log weights plus the
+    advanced RNG state for parent-side write-back.  Runs inline in the
+    parent when the dispatcher decides a pool would not pay.
+    """
+    (descriptor, visible_bias, hidden_bias, base_bias, betas, size, rng,
+     fast_path, dtype) = task
+    segment, weights = attach_shared_array(descriptor)
+    try:
+        log_w = _ais_sweep(
+            weights, visible_bias, hidden_bias, base_bias, betas, size, rng,
+            fast_path=fast_path, dtype=dtype,
+        )
+    finally:
+        # log_w accumulates in a fresh float64 array — nothing returned can
+        # alias the segment, so unmapping here is safe.
+        segment.close()
+    return log_w, rng.bit_generator.state
 
 
 @dataclass
@@ -129,7 +273,12 @@ class AISEstimator:
         serial estimator, ``workers=k`` is reproducible for fixed seed and
         ``k``, and estimates across worker counts agree statistically
         (``tests/property/test_parallel_statistics.py``).  ``"auto"``
-        resolves to the machine's core count.
+        resolves to the machine's core count.  The spec's ``executor``
+        knob picks the pool's execution tier — ``"threads"`` (default) or
+        ``"processes"`` (spawn pool + shared-memory weights), which is
+        **draw-identical** to threads at the same ``workers=k`` because
+        the same shard generators run the same sweep and their advanced
+        states are written back.
 
     RNG stream order
     ----------------
@@ -189,6 +338,7 @@ class AISEstimator:
         self.fast_path = spec.compute.fast_path
         self.dtype = np.dtype(spec.compute.dtype)
         self.workers = spec.compute.workers
+        self.executor = spec.compute.executor
         # Seed root for the threaded chain pool's per-shard substreams;
         # shard generators are cached per worker count so their streams
         # stay stateful across estimates (reproducible run to run).  The
@@ -227,11 +377,8 @@ class AISEstimator:
 
     def _log_unnormalized(self, rbm: BernoulliRBM, base_bias: np.ndarray, v: np.ndarray, beta: float) -> np.ndarray:
         """log p*_beta(v) of the interpolated distribution."""
-        hidden_input = beta * (v @ rbm.weights + rbm.hidden_bias)
-        return (
-            (1.0 - beta) * (v @ base_bias)
-            + beta * (v @ rbm.visible_bias)
-            + np.sum(log1pexp(hidden_input), axis=1)
+        return _ais_log_unnormalized(
+            rbm.weights, rbm.visible_bias, rbm.hidden_bias, base_bias, v, beta
         )
 
     def _transition(
@@ -243,10 +390,9 @@ class AISEstimator:
         rng: np.random.Generator,
     ) -> np.ndarray:
         """One Gibbs transition that leaves the beta-interpolated model invariant."""
-        h_prob = sigmoid(beta * (v @ rbm.weights + rbm.hidden_bias))
-        h = bernoulli_sample(h_prob, rng)
-        v_field = beta * (h @ rbm.weights.T + rbm.visible_bias) + (1.0 - beta) * base_bias
-        return bernoulli_sample(sigmoid(v_field), rng)
+        return _ais_transition(
+            rbm.weights, rbm.visible_bias, rbm.hidden_bias, base_bias, v, beta, rng
+        )
 
     def _sweep(
         self,
@@ -256,65 +402,13 @@ class AISEstimator:
         n_chains: int,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        """Run the full beta sweep for ``n_chains`` particles on ``rng``.
-
-        The whole estimator minus the seed/shard bookkeeping: the serial
-        path calls it once with the estimator's own generator (bit-identical
-        to the pre-threading implementation), the threaded pool calls it
-        once per shard with that shard's substream — the chains are mutually
-        independent, so the sweep body is identical either way.
-        """
-        # Initial samples from the base-rate model.
-        v = bernoulli_sample(np.tile(sigmoid(base_bias), (n_chains, 1)), rng)
-        log_w = np.zeros(n_chains)
-        if self.fast_path:
-            # Vectorized sweep: one (chains x n_hidden) input matmul per
-            # temperature, shared by the weight update at both adjacent betas
-            # (through the fused softplus-difference kernel) and by the Gibbs
-            # transition; the visible-bias gap against the base rate
-            # collapses to a single hoisted vector.  On the float32 tier the
-            # parameters are quantized once up front, the matmuls and draws
-            # run in single precision, and log_w stays float64.
-            tier32 = self.dtype == np.float32
-            weights = np.asarray(rbm.weights, dtype=self.dtype)
-            weights_t = weights.T
-            hidden_bias = np.asarray(rbm.hidden_bias, dtype=self.dtype)
-            visible_bias = np.asarray(rbm.visible_bias, dtype=self.dtype)
-            base = np.asarray(base_bias, dtype=self.dtype)
-            bias_gap = visible_bias - base
-            if tier32:
-                v = v.astype(self.dtype)
-            for prev_beta, beta in zip(betas[:-1], betas[1:]):
-                hidden_in = v @ weights + hidden_bias
-                log_w += (beta - prev_beta) * (v @ bias_gap)
-                log_w += np.sum(
-                    log1pexp_diff(hidden_in, beta, prev_beta),
-                    axis=1,
-                    dtype=np.float64,
-                )
-                if tier32:
-                    h = fused_sigmoid_bernoulli(
-                        beta * hidden_in,
-                        rng.random(hidden_in.shape, dtype=np.float32),
-                    )
-                    v_field = beta * (h @ weights_t + visible_bias)
-                    v_field += (1.0 - beta) * base
-                    v = fused_sigmoid_bernoulli(
-                        v_field, rng.random(v_field.shape, dtype=np.float32)
-                    )
-                else:
-                    h = bernoulli_sample(sigmoid(beta * hidden_in), rng)
-                    v_field = (
-                        beta * (h @ weights_t + visible_bias)
-                        + (1.0 - beta) * base
-                    )
-                    v = bernoulli_sample(sigmoid(v_field), rng)
-        else:
-            for prev_beta, beta in zip(betas[:-1], betas[1:]):
-                log_w += self._log_unnormalized(rbm, base_bias, v, beta)
-                log_w -= self._log_unnormalized(rbm, base_bias, v, prev_beta)
-                v = self._transition(rbm, base_bias, v, beta, rng)
-        return log_w
+        """Run the full beta sweep for ``n_chains`` particles on ``rng`` —
+        delegates to the module-level :func:`_ais_sweep` shared with the
+        worker processes."""
+        return _ais_sweep(
+            rbm.weights, rbm.visible_bias, rbm.hidden_bias, base_bias,
+            betas, n_chains, rng, fast_path=self.fast_path, dtype=self.dtype,
+        )
 
     def _shard_rngs(self, workers: int) -> list:
         """Cached per-shard generators for a ``workers``-way chain pool.
@@ -337,6 +431,7 @@ class AISEstimator:
     def estimate_log_partition(self, rbm: BernoulliRBM) -> AISResult:
         """Run AIS and return the estimated log partition function."""
         workers = resolve_workers(self.workers)
+        executor = resolve_executor(self.executor)
         base_bias = self._base_bias(rbm)
         # Python-float betas: a NumPy float64 scalar is not a "weak" scalar
         # under NEP 50, so `beta * float32_array` would silently promote the
@@ -359,11 +454,42 @@ class AISEstimator:
             sizes = [s.stop - s.start for s in shard_slices(self.n_chains, workers)]
             rngs = self._shard_rngs(workers)
 
-            def sweep(indexed_size):
-                index, size = indexed_size
-                return self._sweep(rbm, base_bias, betas, size, rngs[index])
+            if executor == "processes":
+                # Process-sharded chain pool: the weight matrix is published
+                # once into shared memory for this estimate (AIS weights are
+                # a per-call input, not substrate state, so there is no
+                # cross-call cache to keep coherent) and each worker maps a
+                # zero-copy view; the shard generators travel by pickle —
+                # state included — and their advanced states are written
+                # back, so the draws are identical to the thread tier and
+                # shard streams stay stateful across estimates.
+                shared = SharedNDArray(np.asarray(rbm.weights, dtype=float))
+                try:
+                    descriptor = shared.descriptor
+                    tasks = [
+                        (
+                            descriptor, np.asarray(rbm.visible_bias, dtype=float),
+                            np.asarray(rbm.hidden_bias, dtype=float), base_bias,
+                            betas, size, rngs[index], self.fast_path, self.dtype,
+                        )
+                        for index, size in enumerate(sizes)
+                    ]
+                    results = ProcessShardedExecutor(workers).map(
+                        _process_ais_sweep, tasks
+                    )
+                finally:
+                    shared.close()
+                blocks = []
+                for index, (block, state) in enumerate(results):
+                    rngs[index].bit_generator.state = state
+                    blocks.append(block)
+            else:
 
-            blocks = ShardedExecutor(workers).map(sweep, list(enumerate(sizes)))
+                def sweep(indexed_size):
+                    index, size = indexed_size
+                    return self._sweep(rbm, base_bias, betas, size, rngs[index])
+
+                blocks = ShardedExecutor(workers).map(sweep, list(enumerate(sizes)))
             log_w = np.concatenate(blocks)
 
         log_z = log_z_base + float(logsumexp(log_w) - np.log(self.n_chains))
@@ -380,19 +506,23 @@ def estimate_log_partition(
     fast_path: bool = True,
     dtype: "str" = "float64",
     workers: "int | str | None" = None,
+    executor: Optional[str] = None,
 ) -> float:
     """Convenience wrapper returning just the estimated log Z.
 
     When ``data`` is given, the base-rate model's visible biases are set to
     the data log-odds, which substantially reduces estimator variance.
-    ``workers`` threads the chain pool (see :class:`AISEstimator`).
+    ``workers`` shards the chain pool and ``executor`` picks its execution
+    tier (see :class:`AISEstimator`).
     """
     base_bias = None if data is None else AISEstimator.base_bias_from_data(data)
     estimator = AISEstimator(
         spec=EstimatorSpec(
             chains=n_chains,
             betas=n_betas,
-            compute=ComputeSpec(dtype=dtype, workers=workers, fast_path=fast_path),
+            compute=ComputeSpec(
+                dtype=dtype, workers=workers, fast_path=fast_path, executor=executor
+            ),
         ),
         base_visible_bias=base_bias,
         rng=rng,
@@ -410,6 +540,7 @@ def average_log_probability(
     log_partition: Optional[float] = None,
     dtype: "str" = "float64",
     workers: "int | str | None" = None,
+    executor: Optional[str] = None,
 ) -> float:
     """Average log probability of ``data`` rows, the paper's quality metric.
 
@@ -417,7 +548,8 @@ def average_log_probability(
     in directly via ``log_partition`` to reuse an existing estimate).
     ``dtype="float32"`` runs the AIS sweep in the single-precision tier; the
     free energies of the data always evaluate in float64.  ``workers``
-    threads the AIS chain pool (see :class:`AISEstimator`).
+    shards the AIS chain pool and ``executor`` picks its execution tier
+    (see :class:`AISEstimator`).
     """
     data = check_array(data, name="data", ndim=2)
     if data.shape[1] != rbm.n_visible:
@@ -427,6 +559,6 @@ def average_log_probability(
     if log_partition is None:
         log_partition = estimate_log_partition(
             rbm, n_chains=n_chains, n_betas=n_betas, data=data, rng=rng,
-            dtype=dtype, workers=workers,
+            dtype=dtype, workers=workers, executor=executor,
         )
     return float(np.mean(-rbm.free_energy(data)) - log_partition)

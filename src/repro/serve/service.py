@@ -13,8 +13,9 @@ takes the gemv kernel, inside a batch the gemm kernel — accumulation
 order differs at ~1e-15), the same tolerance class the fast-path kernels
 are pinned at (docs/performance.md precision policy).
 
-``serve_forever`` exposes the service over a newline-delimited-JSON TCP
-protocol (request ``{"rows": [[...], ...], "id": any}``, response
+``serve_forever`` exposes one or more artifacts over a newline-delimited
+JSON TCP protocol (request ``{"rows": [[...], ...], "id": any}`` — plus
+``"model": name`` when several artifacts are being served — response
 ``{"id": any, "scores": [...]}`` or ``{"id": any, "error": msg}``), and
 ``run_self_test`` drives the full stack in-process — concurrent requests,
 coalescing assertions, per-request p50/p99 latency — which is what the CI
@@ -24,10 +25,12 @@ serve-smoke job and the bench entries reuse.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -36,16 +39,40 @@ from repro.utils.validation import ValidationError
 
 @dataclass
 class ServiceStats:
-    """Coalescing counters: how many requests landed in how many batches."""
+    """Coalescing counters: how many requests landed in how many batches.
+
+    All fields are bounded scalars — a long-lived server accumulates O(1)
+    state no matter how much traffic it sees (the per-batch row *list* the
+    first implementation kept grew one int per batch, forever).  Error
+    traffic is counted too: ``requests``/``rows`` cover every request the
+    service resolved, successfully or not, and ``errors``/``error_rows``
+    single out the failed slice (scorer exceptions, shape mismatches,
+    requests failed at shutdown).
+    """
 
     requests: int = 0
     rows: int = 0
     batches: int = 0
-    batch_rows: List[int] = field(default_factory=list)
+    batch_rows_total: int = 0
+    max_batch_rows: int = 0
+    errors: int = 0
+    error_rows: int = 0
+
+    def record_batch(self, n_rows: int) -> None:
+        self.batches += 1
+        self.batch_rows_total += int(n_rows)
+        self.max_batch_rows = max(self.max_batch_rows, int(n_rows))
+
+    def record_request(self, n_rows: int, *, failed: bool = False) -> None:
+        self.requests += 1
+        self.rows += int(n_rows)
+        if failed:
+            self.errors += 1
+            self.error_rows += int(n_rows)
 
     @property
-    def max_batch_rows(self) -> int:
-        return max(self.batch_rows, default=0)
+    def mean_batch_rows(self) -> float:
+        return self.batch_rows_total / self.batches if self.batches else 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -53,6 +80,9 @@ class ServiceStats:
             "rows": self.rows,
             "batches": self.batches,
             "max_batch_rows": self.max_batch_rows,
+            "mean_batch_rows": self.mean_batch_rows,
+            "errors": self.errors,
+            "error_rows": self.error_rows,
         }
 
 
@@ -106,15 +136,33 @@ class MicroBatchScoringService:
         return self
 
     async def stop(self) -> None:
+        """Stop the batcher and fail anything still queued.
+
+        Requests that were submitted but not yet batched cannot be scored
+        once the worker is gone — leaving their futures pending would hang
+        the submitters forever (a TCP client would block on shutdown).
+        Every queued ``(rows, future)`` is failed with a clear
+        :class:`ValidationError` and counted as error traffic.
+        """
         if self._worker is None:
             return
         worker, self._worker = self._worker, None
+        queue, self._queue = self._queue, None
         worker.cancel()
         try:
             await worker
         except asyncio.CancelledError:
             pass
-        self._queue = None
+        assert queue is not None
+        exc = ValidationError("service stopped")
+        while True:
+            try:
+                rows, future = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if not future.done():
+                future.set_exception(exc)
+            self.stats.record_request(rows.shape[0], failed=True)
 
     async def __aenter__(self) -> "MicroBatchScoringService":
         return await self.start()
@@ -152,27 +200,63 @@ class MicroBatchScoringService:
         assert self._queue is not None
         queue = self._queue
         loop = asyncio.get_running_loop()
-        while True:
-            rows, future = await queue.get()
-            batch = [(rows, future)]
-            n_rows = rows.shape[0]
-            deadline = loop.time() + self.max_delay_s
-            # Linger for stragglers: drain whatever is already queued, then
-            # wait out the delay budget before closing the batch.
-            while n_rows < self.max_batch_size:
-                timeout = deadline - loop.time()
-                try:
+        # The straggler wait must be cancellation-safe.  Wrapping
+        # ``queue.get()`` in ``asyncio.wait_for(..., timeout)`` is not on
+        # Python <= 3.11 (gh-86296 class): when the timeout races the
+        # completion, ``wait_for`` cancels a get() that has already
+        # dequeued an item and discards its return value — the request is
+        # silently dropped and the submitter's future never resolves.
+        # Instead the get() runs as a persistent task observed through
+        # ``asyncio.wait``: a timeout leaves the task pending (it simply
+        # becomes the next batch's opening get), and a completed task
+        # retains its result, so a retrieved ``(rows, future)`` can never
+        # be lost.
+        getter: Optional[asyncio.Task] = None
+        batch: List = []
+        try:
+            while True:
+                if getter is None:
+                    getter = loop.create_task(queue.get())
+                await asyncio.wait({getter})
+                rows, future = getter.result()
+                getter = None
+                batch = [(rows, future)]
+                n_rows = rows.shape[0]
+                deadline = loop.time() + self.max_delay_s
+                # Linger for stragglers: drain whatever is already queued,
+                # then wait out the delay budget before closing the batch.
+                while n_rows < self.max_batch_size:
+                    timeout = deadline - loop.time()
                     if timeout <= 0:
-                        rows, future = queue.get_nowait()
+                        try:
+                            rows, future = queue.get_nowait()
+                        except asyncio.QueueEmpty:
+                            break
                     else:
-                        rows, future = await asyncio.wait_for(
-                            queue.get(), timeout
-                        )
-                except (asyncio.QueueEmpty, asyncio.TimeoutError):
-                    break
-                batch.append((rows, future))
-                n_rows += rows.shape[0]
-            self._score_batch(batch)
+                        if getter is None:
+                            getter = loop.create_task(queue.get())
+                        done, _ = await asyncio.wait({getter}, timeout=timeout)
+                        if not done:
+                            break
+                        rows, future = getter.result()
+                        getter = None
+                    batch.append((rows, future))
+                    n_rows += rows.shape[0]
+                self._score_batch(batch)
+                batch = []
+        finally:
+            # Cancellation (stop()) can land mid-linger.  Anything the
+            # worker holds but has not scored — the in-hand batch, and a
+            # get() that completed before the cancel — goes back on the
+            # queue so stop()'s drain fails those futures instead of
+            # leaving them pending forever.
+            if getter is not None:
+                getter.cancel()
+                if getter.done() and not getter.cancelled():
+                    if getter.exception() is None:
+                        queue.put_nowait(getter.result())
+            for item in batch:
+                queue.put_nowait(item)
 
     def _score_batch(self, batch) -> None:
         blocks = [rows for rows, _ in batch]
@@ -180,29 +264,31 @@ class MicroBatchScoringService:
         try:
             scores = np.asarray(self.scorer(stacked))
         except Exception as exc:  # surface scorer failures per-request
-            for _, future in batch:
-                if not future.done():
-                    future.set_exception(exc)
+            self._fail_batch(batch, exc)
             return
         if scores.shape[0] != stacked.shape[0]:
-            exc = ValidationError(
-                f"scorer returned {scores.shape[0]} scores for"
-                f" {stacked.shape[0]} rows"
+            self._fail_batch(
+                batch,
+                ValidationError(
+                    f"scorer returned {scores.shape[0]} scores for"
+                    f" {stacked.shape[0]} rows"
+                ),
             )
-            for _, future in batch:
-                if not future.done():
-                    future.set_exception(exc)
             return
-        self.stats.batches += 1
-        self.stats.batch_rows.append(int(stacked.shape[0]))
+        self.stats.record_batch(stacked.shape[0])
         offset = 0
         for rows, future in batch:
             n = rows.shape[0]
             if not future.done():
                 future.set_result(scores[offset : offset + n].copy())
             offset += n
-            self.stats.requests += 1
-            self.stats.rows += n
+            self.stats.record_request(n)
+
+    def _fail_batch(self, batch, exc: BaseException) -> None:
+        for rows, future in batch:
+            if not future.done():
+                future.set_exception(exc)
+            self.stats.record_request(rows.shape[0], failed=True)
 
 
 # ---------------------------------------------------------------------- #
@@ -349,12 +435,51 @@ def run_self_test(
 # ---------------------------------------------------------------------- #
 # TCP front end (newline-delimited JSON)
 # ---------------------------------------------------------------------- #
-async def _handle_client(service: MicroBatchScoringService, reader, writer) -> None:
-    while True:
-        line = await reader.readline()
-        if not line:
-            break
-        response: Dict[str, Any]
+#: In-flight request cap per connection: a pipelined client can have this
+#: many requests being scored at once before the reader stops pulling new
+#: lines (bounds per-connection memory without limiting coalescing).
+MAX_PIPELINED_REQUESTS = 32
+
+
+def _route(
+    services: Mapping[str, MicroBatchScoringService],
+    default_model: Optional[str],
+    request: Dict[str, Any],
+) -> MicroBatchScoringService:
+    """Pick the service a request addresses via its optional ``"model"`` key."""
+    name = request.get("model")
+    if name is None:
+        if default_model is not None:
+            return services[default_model]
+        raise ValidationError(
+            "several models are being served; requests must name one via"
+            f' {{"model": name}} — available: {sorted(services)}'
+        )
+    if not isinstance(name, str) or name not in services:
+        raise ValidationError(
+            f"unknown model {name!r} — available: {sorted(services)}"
+        )
+    return services[name]
+
+
+async def _handle_client(
+    services: Mapping[str, MicroBatchScoringService],
+    default_model: Optional[str],
+    reader,
+    writer,
+) -> None:
+    """Serve one connection, pipelining request lines into shared batches.
+
+    Each request line is processed by its own task so a client that sends
+    several requests back-to-back has them coalesced into one batch instead
+    of paying ``max_delay_s`` per request serially.  Responses are written
+    strictly in request order (the writer drains a FIFO of tasks), and the
+    FIFO is bounded so a fast sender cannot queue unbounded work.
+    """
+    loop = asyncio.get_running_loop()
+    pending: asyncio.Queue = asyncio.Queue(maxsize=MAX_PIPELINED_REQUESTS)
+
+    async def _process(line: bytes) -> Dict[str, Any]:
         request_id = None
         try:
             request = json.loads(line)
@@ -363,21 +488,60 @@ async def _handle_client(service: MicroBatchScoringService, reader, writer) -> N
                 raise ValidationError(
                     'a request is a JSON object {"rows": [[...], ...]}'
                 )
+            service = _route(services, default_model, request)
             scores = await service.submit(request["rows"])
-            response = {"id": request_id, "scores": np.asarray(scores).tolist()}
+            return {"id": request_id, "scores": np.asarray(scores).tolist()}
         except Exception as exc:
-            response = {"id": request_id, "error": str(exc)}
-        writer.write((json.dumps(response) + "\n").encode())
-        await writer.drain()
-    writer.close()
+            return {"id": request_id, "error": str(exc)}
+
+    async def _write_responses() -> None:
+        while True:
+            task = await pending.get()
+            if task is None:
+                return
+            response = await task
+            writer.write((json.dumps(response) + "\n").encode())
+            await writer.drain()
+
+    writer_task = loop.create_task(_write_responses())
     try:
-        await writer.wait_closed()
-    except (ConnectionError, OSError):  # pragma: no cover - client vanished
-        pass
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            await pending.put(loop.create_task(_process(line)))
+        await pending.put(None)
+        await writer_task
+    finally:
+        if not writer_task.done():
+            writer_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await writer_task
+        while not pending.empty():
+            task = pending.get_nowait()
+            if task is not None:
+                task.cancel()
+        writer.close()
+        with contextlib.suppress(ConnectionError, OSError):
+            await writer.wait_closed()
+
+
+def _artifact_names(artifacts: Sequence) -> List[str]:
+    """Name each artifact by its file stem, rejecting collisions."""
+    names: List[str] = []
+    for artifact in artifacts:
+        name = Path(artifact.path).stem
+        if name in names:
+            raise ValidationError(
+                f"two artifacts share the model name {name!r} (file stems"
+                " must be unique so requests can route unambiguously)"
+            )
+        names.append(name)
+    return names
 
 
 async def serve_forever(
-    artifact,
+    artifacts,
     *,
     host: str = "127.0.0.1",
     port: int = 8787,
@@ -385,22 +549,36 @@ async def serve_forever(
     max_delay_s: float = 0.002,
     ready_callback: Optional[Callable[[str, int], None]] = None,
 ) -> None:
-    """Serve a loaded artifact over newline-delimited JSON TCP.
+    """Serve one or several loaded artifacts over newline-delimited JSON TCP.
 
-    One service instance backs every connection, so requests from
-    different clients coalesce into shared batches.  Runs until
-    cancelled (``python -m repro serve`` wraps this with Ctrl-C
-    handling).
+    One service instance per artifact backs every connection, so requests
+    from different clients coalesce into shared per-model batches.  With a
+    single artifact the ``"model"`` request key is optional (it defaults to
+    that artifact); with several, each artifact is addressable by its file
+    stem and requests must name one.  Runs until cancelled
+    (``python -m repro serve`` wraps this with Ctrl-C handling).
     """
-    service = MicroBatchScoringService(
-        artifact.scorer(),
-        n_features=artifact.n_features,
-        max_batch_size=max_batch_size,
-        max_delay_s=max_delay_s,
-    )
-    async with service:
+    if not isinstance(artifacts, (list, tuple)):
+        artifacts = [artifacts]
+    if not artifacts:
+        raise ValidationError("serve_forever needs at least one artifact")
+    names = _artifact_names(artifacts)
+    async with contextlib.AsyncExitStack() as stack:
+        services: Dict[str, MicroBatchScoringService] = {}
+        for name, artifact in zip(names, artifacts):
+            services[name] = await stack.enter_async_context(
+                MicroBatchScoringService(
+                    artifact.scorer(),
+                    n_features=artifact.n_features,
+                    max_batch_size=max_batch_size,
+                    max_delay_s=max_delay_s,
+                )
+            )
+        default_model = names[0] if len(names) == 1 else None
         server = await asyncio.start_server(
-            lambda r, w: _handle_client(service, r, w), host, port
+            lambda r, w: _handle_client(services, default_model, r, w),
+            host,
+            port,
         )
         async with server:
             bound = server.sockets[0].getsockname()

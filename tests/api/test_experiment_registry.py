@@ -67,6 +67,9 @@ class TestPresetRoundTrips:
             experiment = get_experiment(name)
             kwargs = experiment.materialize_kwargs(experiment.presets["paper"])
             kwargs.pop("seed")
+            # executor is an execution-tier knob with a deferred (None)
+            # default, not a tuned paper setting; the legacy dicts predate it.
+            assert kwargs.pop("executor") is None
             assert kwargs == {
                 key: (tuple(v) if isinstance(v, list) else v)
                 for key, v in config.items()

@@ -66,6 +66,35 @@ class TestComputeSpec:
         monkeypatch.setenv("REPRO_WORKERS", "7")
         assert ComputeSpec(workers=2).resolve().workers == 2
 
+    def test_executor_defaults_deferred_until_resolve(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        spec = ComputeSpec()
+        assert spec.executor is None
+        assert spec.resolve().executor == "threads"
+
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
+    def test_valid_executor_accepted(self, executor):
+        assert ComputeSpec(executor=executor).executor == executor
+        assert ComputeSpec(executor=executor).resolve().executor == executor
+
+    @pytest.mark.parametrize("executor", ["forks", "PROCESSES", "", 2])
+    def test_bad_executor_rejected_at_construction(self, executor):
+        with pytest.raises(ValidationError, match="executor"):
+            ComputeSpec(executor=executor)
+
+    def test_resolve_reads_executor_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "processes")
+        assert ComputeSpec().resolve().executor == "processes"
+        # Explicit beats environment.
+        assert ComputeSpec(executor="threads").resolve().executor == "threads"
+
+    def test_resolve_rejects_garbage_executor_env_naming_the_variable(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_EXECUTOR", "forks")
+        with pytest.raises(ValidationError, match="REPRO_EXECUTOR"):
+            ComputeSpec().resolve()
+
 
 class TestSamplerAndNoiseSpecs:
     @pytest.mark.parametrize("chains", [0, -3, 1.5, True])
@@ -158,7 +187,7 @@ class TestEstimatorSpec:
 
 class TestRunSpec:
     def test_reserved_knobs_must_not_hide_in_params(self):
-        for key in ("seed", "dtype", "workers", "fast_path"):
+        for key in ("seed", "dtype", "workers", "fast_path", "executor"):
             with pytest.raises(ValidationError, match=key):
                 RunSpec(experiment="figure7", params={key: 1})
 
@@ -174,6 +203,11 @@ class TestRunSpec:
         assert spec.seed == 7
         assert spec.compute == ComputeSpec(dtype="float32", workers=4)
         assert spec.params == {"epochs": 3}
+
+    def test_with_overrides_routes_executor(self):
+        spec = RunSpec(experiment="figure7").with_overrides(executor="processes")
+        assert spec.compute == ComputeSpec(executor="processes")
+        assert spec.params == {}
 
     def test_bad_seed_rejected(self):
         with pytest.raises(ValidationError, match="seed"):

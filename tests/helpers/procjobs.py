@@ -1,0 +1,40 @@
+"""Picklable job functions for process-pool tests.
+
+``ProcessShardedExecutor`` ships jobs to spawn workers by pickling them,
+which means the functions must be importable by qualified name in a fresh
+interpreter.  Test-module locals and lambdas don't qualify; these module
+functions do (``tests/`` is on ``sys.path`` via conftest, and spawn
+children inherit the parent's ``sys.path``).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.utils.parallel import attach_shared_array
+
+
+def square(x):
+    return x * x
+
+
+def worker_pid(_):
+    return os.getpid()
+
+
+def sleepy_index(item):
+    """(index, delay) -> index, after sleeping: later items finish first."""
+    index, delay = item
+    time.sleep(delay)
+    return index
+
+
+def shared_sum(task):
+    """(descriptor, scale) -> scale * sum of the shared array (zero-copy)."""
+    descriptor, scale = task
+    segment, view = attach_shared_array(descriptor)
+    try:
+        return scale * float(np.sum(view))
+    finally:
+        segment.close()

@@ -21,6 +21,7 @@ from repro.serve import (
     score_batches,
     serve_forever,
 )
+from repro.serve.service import _handle_client
 from repro.utils.validation import ValidationError
 
 
@@ -74,8 +75,148 @@ class TestCoalescing:
             scorer_rbm.score_samples, _request_blocks(4), n_features=12
         )
         summary = stats.as_dict()
-        assert set(summary) == {"requests", "rows", "batches", "max_batch_rows"}
-        assert summary["max_batch_rows"] == max(stats.batch_rows)
+        # Stable keys from the list-backed stats era, plus the bounded
+        # aggregates that replaced it (mean) and the error counters.
+        assert set(summary) >= {"requests", "rows", "batches", "max_batch_rows"}
+        assert set(summary) == {
+            "requests", "rows", "batches", "max_batch_rows",
+            "mean_batch_rows", "errors", "error_rows",
+        }
+        assert summary["max_batch_rows"] == stats.max_batch_rows
+        assert summary["max_batch_rows"] <= stats.batch_rows_total
+        assert summary["mean_batch_rows"] == pytest.approx(
+            stats.batch_rows_total / stats.batches
+        )
+        assert summary["errors"] == 0 and summary["error_rows"] == 0
+
+    def test_stats_are_bounded_aggregates(self, scorer_rbm):
+        # A long-lived server must accumulate O(1) stats state: no
+        # per-batch list (the old ``batch_rows`` attribute) may come back.
+        _, stats = score_batches(
+            scorer_rbm.score_samples, _request_blocks(8), n_features=12
+        )
+        assert not any(
+            isinstance(value, (list, dict, set))
+            for value in vars(stats).values()
+        )
+
+
+class TestRequestLoss:
+    def test_linger_timeout_never_drops_requests(self, scorer_rbm):
+        """Regression for the ``asyncio.wait_for(queue.get(), timeout)``
+        cancellation race (gh-86296 class): on Python <= 3.11 a request
+        dequeued at the same tick the linger timeout fired was silently
+        discarded and its future never resolved.  Hammer the race window:
+        500 rounds of a batch-opening request plus a straggler submitted
+        right around the linger deadline.  Every future must resolve; a
+        dropped request shows up as the per-round wait_for timing out.
+        """
+
+        async def drive():
+            async with MicroBatchScoringService(
+                scorer_rbm.score_samples,
+                n_features=12,
+                max_batch_size=4,
+                max_delay_s=0.0002,
+            ) as service:
+                rows = np.ones((1, 12))
+                for i in range(500):
+                    async def straggler():
+                        # Scan offsets across the linger window so some
+                        # puts land before, at, and after the deadline.
+                        await asyncio.sleep((i % 5) * 0.0001)
+                        return await service.submit(rows)
+
+                    results = await asyncio.wait_for(
+                        asyncio.gather(service.submit(rows), straggler()),
+                        timeout=5.0,
+                    )
+                    assert all(scores.shape == (1,) for scores in results)
+                return service.stats
+
+        stats = asyncio.run(drive())
+        assert stats.requests == 1000
+        assert stats.errors == 0
+
+
+class TestStopSemantics:
+    def test_stop_fails_queued_and_inflight_requests(self, scorer_rbm):
+        """stop() must not leave any submitted future pending: requests
+        still queued — and requests the batcher holds mid-linger — are
+        failed with a clear ValidationError and counted as error traffic.
+        """
+
+        async def drive():
+            service = MicroBatchScoringService(
+                scorer_rbm.score_samples,
+                n_features=12,
+                max_batch_size=64,
+                max_delay_s=30.0,  # linger far longer than the test runs
+            )
+            await service.start()
+            rows = np.ones((2, 12))
+            tasks = [
+                asyncio.ensure_future(service.submit(rows)) for _ in range(3)
+            ]
+            # Let the submits enqueue and the batcher start lingering.
+            for _ in range(5):
+                await asyncio.sleep(0)
+            await service.stop()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            return service, results
+
+        service, results = asyncio.run(drive())
+        assert len(results) == 3
+        for outcome in results:
+            assert isinstance(outcome, ValidationError)
+            assert "service stopped" in str(outcome)
+        assert service.stats.errors == 3
+        assert service.stats.error_rows == 6
+        assert service.stats.requests == 3
+
+    def test_submit_after_stop_rejected(self, scorer_rbm):
+        async def drive():
+            service = MicroBatchScoringService(
+                scorer_rbm.score_samples, n_features=12
+            )
+            await service.start()
+            await service.stop()
+            with pytest.raises(ValidationError, match="not started"):
+                await service.submit(np.ones((1, 12)))
+
+        asyncio.run(drive())
+
+    def test_stop_is_idempotent(self, scorer_rbm):
+        async def drive():
+            service = MicroBatchScoringService(
+                scorer_rbm.score_samples, n_features=12
+            )
+            await service.start()
+            await service.stop()
+            await service.stop()
+
+        asyncio.run(drive())
+
+
+class TestErrorTraffic:
+    def test_scorer_failures_are_counted(self):
+        def broken(rows):
+            raise RuntimeError("model exploded")
+
+        async def drive():
+            async with MicroBatchScoringService(
+                broken, n_features=12, max_delay_s=0.0
+            ) as service:
+                with pytest.raises(RuntimeError, match="model exploded"):
+                    await service.submit(np.ones((3, 12)))
+                return service.stats
+
+        stats = asyncio.run(drive())
+        assert stats.requests == 1
+        assert stats.rows == 3
+        assert stats.errors == 1
+        assert stats.error_rows == 3
+        assert stats.batches == 0  # no successful scorer call happened
 
 
 class TestValidation:
@@ -186,3 +327,188 @@ class TestTCPFrontEnd:
         )
         assert bad["id"] == 2 and "expects 12" in bad["error"]
         assert malformed["id"] is None and "rows" in malformed["error"]
+
+    def test_pipelined_requests_share_a_batch(self, scorer_rbm):
+        """One connection sending N requests back-to-back must have them
+        coalesced (the old handler awaited each response before reading
+        the next line, so a pipelined client could never batch) and the
+        responses must come back in request order.
+        """
+        rows = np.ones((1, 12))
+
+        async def drive():
+            service = MicroBatchScoringService(
+                scorer_rbm.score_samples,
+                n_features=12,
+                max_batch_size=6,  # batch closes on count, not the linger
+                max_delay_s=5.0,
+            )
+            async with service:
+                server = await asyncio.start_server(
+                    lambda r, w: _handle_client({"m": service}, "m", r, w),
+                    "127.0.0.1",
+                    0,
+                )
+                async with server:
+                    port = server.sockets[0].getsockname()[1]
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", port
+                    )
+                    try:
+                        payload = b"".join(
+                            (
+                                json.dumps({"id": i, "rows": rows.tolist()})
+                                + "\n"
+                            ).encode()
+                            for i in range(6)
+                        )
+                        writer.write(payload)  # all six lines at once
+                        await writer.drain()
+                        responses = [
+                            json.loads(await reader.readline())
+                            for _ in range(6)
+                        ]
+                    finally:
+                        writer.close()
+                        await writer.wait_closed()
+            return responses, service.stats
+
+        responses, stats = asyncio.run(drive())
+        assert [response["id"] for response in responses] == list(range(6))
+        assert all("scores" in response for response in responses)
+        assert stats.requests == 6
+        assert stats.batches == 1  # the whole pipeline landed in one batch
+        assert stats.max_batch_rows == 6
+
+
+class TestMultiModel:
+    @staticmethod
+    def _two_artifacts(tmp_path):
+        rbm_a = BernoulliRBM(12, 6, rng=0)
+        rbm_b = BernoulliRBM(12, 4, rng=1)
+        rng = np.random.default_rng(7)
+        rbm_a.set_parameters(
+            rng.normal(0, 0.3, (12, 6)),
+            rng.normal(0, 0.2, 12),
+            rng.normal(0, 0.2, 6),
+        )
+        rbm_b.set_parameters(
+            rng.normal(0, 0.3, (12, 4)),
+            rng.normal(0, 0.2, 12),
+            rng.normal(0, 0.2, 4),
+        )
+        save_model(rbm_a, tmp_path / "alpha")
+        save_model(rbm_b, tmp_path / "beta")
+        return (
+            (rbm_a, load_model(tmp_path / "alpha")),
+            (rbm_b, load_model(tmp_path / "beta")),
+        )
+
+    def test_routed_requests_hit_the_named_model(self, tmp_path):
+        (rbm_a, art_a), (rbm_b, art_b) = self._two_artifacts(tmp_path)
+        rows = (np.random.default_rng(3).random((3, 12)) < 0.5).astype(float)
+
+        async def drive():
+            bound = {}
+            server_task = asyncio.get_running_loop().create_task(
+                serve_forever(
+                    [art_a, art_b],
+                    port=0,
+                    ready_callback=lambda host, port: bound.update(
+                        host=host, port=port
+                    ),
+                )
+            )
+            while not bound:
+                await asyncio.sleep(0.01)
+            reader, writer = await asyncio.open_connection(
+                bound["host"], bound["port"]
+            )
+            try:
+                for request in (
+                    {"id": "a", "model": "alpha", "rows": rows.tolist()},
+                    {"id": "b", "model": "beta", "rows": rows.tolist()},
+                    {"id": "none", "rows": rows.tolist()},
+                    {"id": "bad", "model": "gamma", "rows": rows.tolist()},
+                ):
+                    writer.write((json.dumps(request) + "\n").encode())
+                await writer.drain()
+                responses = [
+                    json.loads(await reader.readline()) for _ in range(4)
+                ]
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                server_task.cancel()
+                try:
+                    await server_task
+                except asyncio.CancelledError:
+                    pass
+            return responses
+
+        by_id = {response["id"]: response for response in asyncio.run(drive())}
+        np.testing.assert_allclose(
+            np.asarray(by_id["a"]["scores"]),
+            rbm_a.score_samples(rows),
+            rtol=1e-10,
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            np.asarray(by_id["b"]["scores"]),
+            rbm_b.score_samples(rows),
+            rtol=1e-10,
+            atol=1e-12,
+        )
+        # Ambiguous and unknown routes both fail and name the choices.
+        assert "alpha" in by_id["none"]["error"]
+        assert "beta" in by_id["none"]["error"]
+        assert "gamma" in by_id["bad"]["error"]
+
+    def test_single_artifact_keeps_model_key_optional(self, tmp_path):
+        (rbm_a, art_a), _ = self._two_artifacts(tmp_path)
+        rows = np.ones((2, 12))
+
+        async def drive():
+            bound = {}
+            server_task = asyncio.get_running_loop().create_task(
+                serve_forever(
+                    [art_a],
+                    port=0,
+                    ready_callback=lambda host, port: bound.update(
+                        host=host, port=port
+                    ),
+                )
+            )
+            while not bound:
+                await asyncio.sleep(0.01)
+            reader, writer = await asyncio.open_connection(
+                bound["host"], bound["port"]
+            )
+            try:
+                writer.write(
+                    (json.dumps({"id": 0, "rows": rows.tolist()}) + "\n").encode()
+                )
+                await writer.drain()
+                response = json.loads(await reader.readline())
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                server_task.cancel()
+                try:
+                    await server_task
+                except asyncio.CancelledError:
+                    pass
+            return response
+
+        response = asyncio.run(drive())
+        np.testing.assert_allclose(
+            np.asarray(response["scores"]),
+            rbm_a.score_samples(rows),
+            rtol=1e-10,
+            atol=1e-12,
+        )
+
+    def test_duplicate_stems_rejected(self, tmp_path):
+        (_, art_a), _ = self._two_artifacts(tmp_path)
+        with pytest.raises(ValidationError, match="unique"):
+            asyncio.run(serve_forever([art_a, art_a], port=0))
