@@ -31,9 +31,15 @@ run-ci:
 ## round-trip {"model": name}-routed requests through a 2-artifact server
 ## (examples/serve_multimodel_roundtrip.py binds an ephemeral port, routes
 ## a request to each model, and checks the error paths).
+## The quantized leg: save the same run's model with --quantize (int8
+## codes + float32 scales in the .npz) and drive the self-test against the
+## dequantized artifact, so the quantized save/load/score path stays wired
+## end to end.
 serve-smoke:
 	$(PYTHON) -m repro run figure9 --set epochs=3 --save-model /tmp/repro-serve-smoke
 	$(PYTHON) -m repro serve /tmp/repro-serve-smoke --self-test
+	$(PYTHON) -m repro run figure9 --set epochs=3 --save-model /tmp/repro-serve-smoke-q --quantize
+	$(PYTHON) -m repro serve /tmp/repro-serve-smoke-q --self-test
 	$(PYTHON) -m repro run figure9 --set epochs=3 --set seed=1 --save-model /tmp/repro-serve-smoke-b
 	$(PYTHON) examples/serve_multimodel_roundtrip.py /tmp/repro-serve-smoke /tmp/repro-serve-smoke-b
 

@@ -13,7 +13,13 @@ Matlab models operate at.
 
 from repro.analog.sigmoid_unit import SigmoidUnit
 from repro.analog.rng import ThermalNoiseRNG, DynamicComparator, StochasticNeuronSampler
-from repro.analog.converters import DigitalToTimeConverter, AnalogToDigitalConverter, quantize_uniform
+from repro.analog.converters import (
+    AnalogToDigitalConverter,
+    DigitalToTimeConverter,
+    dequantize_symmetric,
+    quantize_symmetric,
+    quantize_uniform,
+)
 from repro.analog.charge_pump import ChargePumpUpdater
 from repro.analog.noise import NoiseModel, NoiseConfig
 
@@ -25,6 +31,8 @@ __all__ = [
     "DigitalToTimeConverter",
     "AnalogToDigitalConverter",
     "quantize_uniform",
+    "quantize_symmetric",
+    "dequantize_symmetric",
     "ChargePumpUpdater",
     "NoiseModel",
     "NoiseConfig",

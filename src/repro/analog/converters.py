@@ -9,7 +9,7 @@ optional integral-nonlinearity-style Gaussian code error.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -57,6 +57,60 @@ def quantize_uniform(
     if shift:
         out += lo
     return out
+
+
+def quantize_symmetric(
+    values: np.ndarray, *, axis: Optional[int] = None, n_bits: int = 8
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetrically quantize ``values`` to signed ``n_bits`` codes + scales.
+
+    The signed-weight analogue of :func:`quantize_uniform`: each slice is
+    mapped onto the symmetric code range ``[-(2^(n_bits-1)-1),
+    +(2^(n_bits-1)-1)]`` (``[-127, 127]`` for 8 bits — the all-negative code
+    is unused, so zero sits exactly on code 0) with ``scale =
+    max|slice| / 127``.  ``axis=None`` uses one per-tensor scale;
+    ``axis=0`` on a 2-D matrix uses one scale per column — the per-DTC
+    full-scale trim of a coupling-array column.  An all-zero slice gets a
+    placeholder scale of 1.0, so zeros reconstruct exactly.
+
+    Returns ``(codes, scales)``: ``codes`` is ``int8`` (``int16`` above 8
+    bits) with ``values.shape``; ``scales`` is ``float32``, scalar for
+    ``axis=None`` or ``(n_columns,)`` for ``axis=0`` — in both layouts it
+    broadcasts directly against ``codes`` for dequantization.
+    """
+    if n_bits < 2 or n_bits > 16:
+        raise ValidationError(f"n_bits must be in [2, 16], got {n_bits}")
+    values = np.asarray(values, dtype=np.float64)
+    if axis not in (None, 0):
+        raise ValidationError(f"axis must be None or 0, got {axis!r}")
+    if axis == 0 and values.ndim != 2:
+        raise ValidationError(
+            f"per-column quantization (axis=0) expects a 2-D matrix, got ndim={values.ndim}"
+        )
+    if not np.all(np.isfinite(values)):
+        raise ValidationError("cannot quantize non-finite values")
+    q_max = (1 << (n_bits - 1)) - 1
+    amax = np.max(np.abs(values), axis=axis) if values.size else np.zeros(())
+    scales = np.where(amax > 0.0, amax / q_max, 1.0)
+    # Compute the scales in float64 but *divide by the stored float32 value*:
+    # dequantization multiplies by the float32 scale, so rounding against the
+    # same representable number keeps |value - code*scale| <= scale/2 exactly.
+    scales = np.asarray(scales, dtype=np.float32)
+    code_dtype = np.int8 if n_bits <= 8 else np.int16
+    codes = np.clip(
+        np.round(values / scales.astype(np.float64)), -q_max, q_max
+    ).astype(code_dtype)
+    return codes, scales
+
+
+def dequantize_symmetric(codes: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """Reconstruct float32 values from :func:`quantize_symmetric` output.
+
+    ``codes * scales`` in single precision — exact for the stored
+    ``(codes, scales)`` pair, so a quantized tensor round-trips losslessly
+    through its integer representation.
+    """
+    return np.asarray(codes, dtype=np.float32) * np.asarray(scales, dtype=np.float32)
 
 
 class DigitalToTimeConverter:

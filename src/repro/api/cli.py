@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro run figure7 --preset paper --set workers=4 --set dtype=float32
+    python -m repro run figure7 --set dtype=qint8  # int8 couplings tier
     python -m repro run table2 figure5            # several artifacts, CI scale
     python -m repro run --list                    # what can I run?
     python -m repro list                          # same listing
@@ -23,6 +24,7 @@ literals: ints, floats, ``true``/``false``, ``none``, comma lists
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import time
 from typing import Any, List, Optional, Sequence, Tuple
@@ -31,7 +33,19 @@ from repro.api.facade import run_experiment
 from repro.api.registry import get_experiment, list_experiments
 from repro.utils.validation import ValidationError
 
-__all__ = ["main", "parse_set_value", "parse_set_argument"]
+__all__ = ["main", "parse_set_value", "parse_set_argument", "SetArgumentError"]
+
+
+class SetArgumentError(ValidationError, argparse.ArgumentTypeError):
+    """A malformed ``--set`` override.
+
+    Doubly inherits so both consumers see the type they handle:
+    :class:`ValidationError` keeps the library-wide "bad input" contract
+    for programmatic callers of :func:`parse_set_argument`, while
+    :class:`argparse.ArgumentTypeError` makes argparse render this message
+    verbatim instead of the generic ``invalid value`` it substitutes for
+    plain ``ValueError`` subclasses.
+    """
 
 
 def parse_set_value(raw: str) -> Any:
@@ -60,14 +74,27 @@ def parse_set_value(raw: str) -> Any:
 
 
 def parse_set_argument(text: str) -> Tuple[str, Any]:
-    """Split a ``key=value`` override (argparse ``type=`` hook)."""
+    """Split a ``key=value`` override (argparse ``type=`` hook).
+
+    Raises :class:`SetArgumentError` on malformed overrides, including
+    non-finite numeric literals (``nan``/``inf``): every spec knob is a
+    finite quantity, and a NaN seed/learning-rate would otherwise sail
+    through literal parsing and fail — or worse, not fail — deep inside a
+    run.
+    """
     key, separator, raw = text.partition("=")
     key = key.strip()
     if not separator or not key:
-        raise argparse.ArgumentTypeError(
-            f"--set expects key=value, got {text!r}"
-        )
-    return key, parse_set_value(raw)
+        raise SetArgumentError(f"--set expects key=value, got {text!r}")
+    value = parse_set_value(raw)
+    items = value if isinstance(value, tuple) else (value,)
+    for item in items:
+        if isinstance(item, float) and not math.isfinite(item):
+            raise SetArgumentError(
+                f"--set {key}={raw.strip()} is non-finite: {key} must be a"
+                " finite number"
+            )
+    return key, value
 
 
 def _print_listing(stream) -> None:
@@ -131,6 +158,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persist the experiment's trained model as a serving artifact "
              "(<PATH>.npz + <PATH>.json); the experiment must support "
              "keep_model (figure9/figure10) and exactly one may be named",
+    )
+    run_parser.add_argument(
+        "--quantize", action="store_true",
+        help="store the --save-model artifact quantized: symmetric int8"
+             " codes + float32 scales, ~4x smaller on disk; load_model"
+             " dequantizes back to float32 parameters",
     )
 
     subparsers.add_parser("list", help="list registered experiments and presets")
@@ -241,6 +274,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("run needs at least one experiment name (or --list)")
     if args.save_model is not None and len(args.experiments) != 1:
         parser.error("--save-model requires exactly one experiment name")
+    if args.quantize and args.save_model is None:
+        parser.error("--quantize only applies to --save-model artifacts")
 
     try:
         specs = []
@@ -302,6 +337,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     run_spec=RunSpec.from_dict(result.metadata["run_spec"])
                     if "run_spec" in result.metadata
                     else None,
+                    quantize=args.quantize,
                 )
             except ValidationError as error:
                 print(f"error: {error}", file=sys.stderr)

@@ -15,6 +15,7 @@ from repro.config.specs import (
     Spec,
     SubstrateSpec,
     TrainerSpec,
+    compute_dtype,
 )
 from repro.utils.validation import ValidationError
 
@@ -27,5 +28,6 @@ __all__ = [
     "TrainerSpec",
     "EstimatorSpec",
     "RunSpec",
+    "compute_dtype",
     "ValidationError",
 ]

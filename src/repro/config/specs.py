@@ -144,6 +144,21 @@ class Spec:
         return self.replace(**changes) if changes else self
 
 
+QINT8 = "qint8"
+
+
+def compute_dtype(dtype: str) -> np.dtype:
+    """The NumPy dtype a precision tier's kernels compute in.
+
+    ``"float64"``/``"float32"`` map to themselves; the ``"qint8"`` tier
+    stores int8 coupling codes but accumulates fields (and latches states)
+    in float32 after dequantization at the effective-weight cache, so its
+    compute dtype is float32.  Every ``np.dtype(spec.compute.dtype)`` call
+    site must go through this helper — ``np.dtype("qint8")`` is an error.
+    """
+    return np.dtype(np.float32) if str(dtype) == QINT8 else np.dtype(dtype)
+
+
 @dataclass(frozen=True)
 class ComputeSpec(Spec):
     """Execution-tier knobs shared by the substrate, trainers and estimator.
@@ -151,8 +166,13 @@ class ComputeSpec(Spec):
     Attributes
     ----------
     dtype:
-        Precision tier, ``"float64"`` (bit-identical contract) or
-        ``"float32"`` (statistically pinned single-precision kernels).
+        Precision tier: ``"float64"`` (bit-identical contract),
+        ``"float32"`` (statistically pinned single-precision kernels), or
+        ``"qint8"`` (symmetric int8 quantization of the effective couplings
+        and biases — the paper's 8-bit DTC programming resolution — with
+        float32 accumulation below the quantization point; statistically
+        pinned like float32).  ``"qint8"`` is a tier label, not a NumPy
+        dtype: :func:`compute_dtype` maps it to the float32 compute dtype.
     workers:
         Multicore knob: a positive int, ``"auto"`` (core count), or ``None``
         to defer to the ``REPRO_WORKERS`` environment default — the
@@ -175,18 +195,27 @@ class ComputeSpec(Spec):
     executor: Optional[str] = None
 
     def __post_init__(self) -> None:
-        try:
-            canonical = np.dtype(self.dtype)
-        except TypeError as exc:
-            raise ValidationError(f"dtype must be float32 or float64, got {self.dtype!r}") from exc
-        if canonical not in (np.dtype(np.float32), np.dtype(np.float64)):
-            raise ValidationError(f"dtype must be float32 or float64, got {canonical}")
-        object.__setattr__(self, "dtype", str(canonical))
+        if isinstance(self.dtype, str) and self.dtype.strip().lower() == QINT8:
+            # Not a NumPy dtype: the quantized tier is a label resolved to
+            # its float32 compute dtype by compute_dtype() at the kernels.
+            object.__setattr__(self, "dtype", QINT8)
+        else:
+            try:
+                canonical = np.dtype(self.dtype)
+            except TypeError as exc:
+                raise ValidationError(
+                    f"dtype must be float32, float64 or qint8, got {self.dtype!r}"
+                ) from exc
+            if canonical not in (np.dtype(np.float32), np.dtype(np.float64)):
+                raise ValidationError(
+                    f"dtype must be float32, float64 or qint8, got {canonical}"
+                )
+            object.__setattr__(self, "dtype", str(canonical))
         object.__setattr__(self, "fast_path", bool(self.fast_path))
-        if canonical == np.float32 and not self.fast_path:
+        if self.dtype in ("float32", QINT8) and not self.fast_path:
             raise ValidationError(
-                "the float32 precision tier requires fast_path=True (the legacy "
-                "reference path is float64 by definition)"
+                f"the {self.dtype} precision tier requires fast_path=True (the "
+                "legacy reference path is float64 by definition)"
             )
         if self.workers is not None:
             # Validate-only: "auto"/ints are checked here, but the deferred

@@ -24,6 +24,7 @@ import numpy as np
 from repro.analog.noise import NoiseConfig
 from repro.config.specs import (
     ComputeSpec,
+    compute_dtype,
     NoiseSpec,
     SamplerSpec,
     SubstrateSpec,
@@ -385,7 +386,7 @@ class GibbsSamplerTrainer:
         self._rng = as_rng(rng)
         self.callback = callback
         self.fast_path = spec.compute.fast_path
-        self.dtype = np.dtype(spec.compute.dtype)
+        self.dtype = compute_dtype(spec.compute.dtype)
         self._chains_h: Optional[np.ndarray] = None
         # Set once the fast path's entry finiteness scan has run for this
         # trainer; partial_fit validates the model arrays on the first call

@@ -36,6 +36,7 @@ from repro.analog.converters import AnalogToDigitalConverter
 from repro.analog.noise import NoiseConfig
 from repro.config.specs import (
     ComputeSpec,
+    compute_dtype,
     NoiseSpec,
     SamplerSpec,
     SubstrateSpec,
@@ -566,7 +567,9 @@ class BGFTrainer:
         self._rng = as_rng(rng)
         self.callback = callback
         self.fast_path = spec.compute.fast_path
-        self.dtype = np.dtype(spec.compute.dtype)
+        # The kernels' compute dtype; the machine below receives the tier
+        # *label* (spec.compute.dtype), so the qint8 tier survives the trip.
+        self.dtype = compute_dtype(spec.compute.dtype)
         self.machine: Optional[BoltzmannGradientFollower] = None
 
     def _ensure_machine(self, rbm: BernoulliRBM) -> BoltzmannGradientFollower:
@@ -581,7 +584,7 @@ class BGFTrainer:
                 noise_config=self.noise_config,
                 rng=self._rng,
                 fast_path=self.fast_path,
-                dtype=self.dtype,
+                dtype=self.spec.compute.dtype,
             )
         return self.machine
 

@@ -74,6 +74,15 @@ def roc_curve(scores: np.ndarray, labels: np.ndarray) -> Tuple[np.ndarray, np.nd
     n_neg = int(np.sum(labels == 0))
     if n_pos == 0 or n_neg == 0:
         raise ValidationError("ROC requires at least one positive and one negative label")
+    if not np.all(np.isfinite(scores)):
+        # NaN scores would sort arbitrarily (NaN compares false with
+        # everything), silently producing a curve and an AUC that depend
+        # on the input order rather than the scores.
+        n_bad = int(np.sum(~np.isfinite(scores)))
+        raise ValidationError(
+            f"scores must be finite to rank: got {n_bad} non-finite"
+            f" value(s) out of {scores.size}"
+        )
 
     order = np.argsort(-scores, kind="mergesort")
     sorted_labels = labels[order]

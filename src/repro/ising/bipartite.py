@@ -29,11 +29,16 @@ from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
-from repro.analog.converters import DigitalToTimeConverter, quantize_uniform
+from repro.analog.converters import (
+    DigitalToTimeConverter,
+    dequantize_symmetric,
+    quantize_symmetric,
+    quantize_uniform,
+)
 from repro.analog.noise import NoiseConfig, NoiseModel
 from repro.analog.rng import StochasticNeuronSampler
 from repro.analog.sigmoid_unit import SigmoidUnit
-from repro.config.specs import ComputeSpec, NoiseSpec, SubstrateSpec
+from repro.config.specs import QINT8, ComputeSpec, NoiseSpec, SubstrateSpec, compute_dtype
 from repro.utils.deprecation import warn_kwargs_deprecated
 from repro.utils.parallel import (
     ProcessShardedExecutor,
@@ -285,6 +290,14 @@ class BipartiteIsingSubstrate:
         pinned by ``tests/property/test_precision_tiers.py`` (see the
         precision policy in ``docs/performance.md``); it requires the fast
         path, since the legacy reference path is float64 by definition.
+        ``"qint8"`` models the paper's 8-bit DTC programming resolution
+        even more literally: the effective couplings collapse to int8 codes
+        with per-column float32 scales at the cache boundary (biases to
+        per-tensor codes at programming), fields accumulate in float32 on
+        the dequantized matrix, and everything below that point — fused
+        latch, shard kernels, executors — is the float32 tier's machinery
+        unchanged.  Statistically pinned like float32
+        (``tests/property/test_qint8_tier.py``); requires the fast path.
     spec:
         Typed configuration (:class:`~repro.config.SubstrateSpec`)
         superseding the per-knob keyword arguments above (``rng`` stays a
@@ -347,7 +360,14 @@ class BipartiteIsingSubstrate:
         self.spec = spec
         self.n_visible = spec.n_visible
         self.n_hidden = spec.n_hidden
-        self.dtype = np.dtype(spec.compute.dtype)
+        # ``tier`` is the configured precision-tier label ("float64" /
+        # "float32" / "qint8"); ``dtype`` is the NumPy dtype the kernels
+        # compute in.  They differ only on the quantized tier, whose int8
+        # coupling codes dequantize into float32 at the cache boundary so
+        # every kernel below that point is the float32 tier's, unchanged.
+        self.tier = spec.compute.dtype
+        self.quantized = self.tier == QINT8
+        self.dtype = compute_dtype(self.tier)
         sigmoid_gain = spec.sigmoid_gain
         input_bits = spec.input_bits
         comparator_offset_rms = spec.comparator_offset_rms
@@ -415,6 +435,11 @@ class BipartiteIsingSubstrate:
         # single-owner (see docs/performance.md, "Thread safety").
         self._eff_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._cache_lock = threading.Lock()
+        # Quantized tier only: the int8 codes + per-column float32 scales of
+        # the current effective matrix (rebuilt with the cache; None while
+        # the cache is invalid).  Introspection/serving state — the settle
+        # kernels consume the dequantized float32 matrix in ``_eff_cache``.
+        self._quantized_static: Optional[Tuple[np.ndarray, np.ndarray]] = None
         # Shared-memory publication of the static effective matrix for the
         # process executor tier: created lazily on the first process-sharded
         # settle, reused until the next (re)programming/invalidation drops
@@ -451,6 +476,11 @@ class BipartiteIsingSubstrate:
         The arrays are stored in the substrate's precision tier: a float32
         substrate quantizes the programmed float64 parameters once, here —
         the analog analogue of the array's finite programming resolution.
+        On the qint8 tier the biases additionally collapse to their 8-bit
+        codes here (one per-tensor scale each), while the weights keep a
+        full-precision host copy: their quantization point is the effective
+        -weight cache, where the static variation gain has already been
+        applied (see ``_static_pair``).
         """
         self.weights = check_array(
             weights, name="weights", shape=(self.n_visible, self.n_hidden)
@@ -461,6 +491,9 @@ class BipartiteIsingSubstrate:
         self.hidden_bias = check_array(
             hidden_bias, name="hidden_bias", shape=(self.n_hidden,)
         ).astype(self.dtype)
+        if self.quantized:
+            self.visible_bias = dequantize_symmetric(*quantize_symmetric(self.visible_bias))
+            self.hidden_bias = dequantize_symmetric(*quantize_symmetric(self.hidden_bias))
         self._drop_effective_cache()
 
     def program_trusted(
@@ -484,6 +517,11 @@ class BipartiteIsingSubstrate:
         weights = np.asarray(weights, dtype=self.dtype)
         visible_bias = np.asarray(visible_bias, dtype=self.dtype)
         hidden_bias = np.asarray(hidden_bias, dtype=self.dtype)
+        if self.quantized:
+            # Same 8-bit bias collapse as program(); the weights quantize at
+            # the effective-weight cache (_static_pair), post-variation.
+            visible_bias = dequantize_symmetric(*quantize_symmetric(visible_bias))
+            hidden_bias = dequantize_symmetric(*quantize_symmetric(hidden_bias))
         if weights.shape != (self.n_visible, self.n_hidden):
             raise ValidationError(
                 f"weights shape {weights.shape} does not match the "
@@ -505,6 +543,7 @@ class BipartiteIsingSubstrate:
         a process-sharded settle can never read a stale coupling matrix."""
         with self._cache_lock:
             self._eff_cache = None
+            self._quantized_static = None
             shm, self._shm_static = self._shm_static, None
         if shm is not None:
             shm.close()
@@ -536,7 +575,7 @@ class BipartiteIsingSubstrate:
         hence the seeded noise realization) is identical to the dense call.
         """
         if is_sparse(values):
-            values = as_sparse_rows(values)
+            values = as_sparse_rows(values, dtype=self.dtype)
             if values.shape[-1] != self.n_visible:
                 raise ValidationError(
                     f"clamp values last dimension {values.shape[-1]} does not "
@@ -550,17 +589,20 @@ class BipartiteIsingSubstrate:
             )
             if dtc.nonlinearity_rms == 0.0 and zero_is_exact:
                 converted = values.copy()
-                converted.data = dtc.convert(values.data)
+                # The DTC's quantizer runs in float64; the converted clamp
+                # levels re-enter the substrate tier here, so a float32/qint8
+                # substrate never leaks float64 clamp states downstream.
+                converted.data = np.asarray(dtc.convert(values.data), dtype=self.dtype)
                 return converted
-            return dtc.convert(values.toarray())
-        values = np.asarray(values, dtype=float)
+            return np.asarray(dtc.convert(values.toarray()), dtype=self.dtype)
+        values = np.asarray(values, dtype=self.dtype)
         if values.shape[-1] != self.n_visible:
             raise ValidationError(
                 f"clamp values last dimension {values.shape[-1]} does not match "
                 f"{self.n_visible} visible nodes"
             )
         if self.input_dtc is not None:
-            values = self.input_dtc.convert(values)
+            values = np.asarray(self.input_dtc.convert(values), dtype=self.dtype)
         return values
 
     # ------------------------------------------------------------------ #
@@ -612,6 +654,17 @@ class BipartiteIsingSubstrate:
                         self.noise_model.static_effective(self.weights),
                         dtype=self.dtype,
                     )
+                    if self.quantized:
+                        # The qint8 tier's quantization point: the effective
+                        # (variation-scaled) matrix collapses to int8 codes
+                        # with one float32 scale per column — per hidden
+                        # unit, i.e. per row of the transposed pair — and
+                        # the kernels run on the float32 dequantization.
+                        # The BGF's in-place charge-pump edits requantize
+                        # here too, via invalidate_effective_weights.
+                        codes, scales = quantize_symmetric(static, axis=0)
+                        self._quantized_static = (codes, scales)
+                        static = dequantize_symmetric(codes, scales)
                     cache = (static, static.T)
                     self._eff_cache = cache
         return cache
@@ -643,9 +696,11 @@ class BipartiteIsingSubstrate:
     def hidden_field(self, visible: np.ndarray) -> np.ndarray:
         """Summed column currents seen by the hidden nodes (plus node noise)."""
         if is_sparse(visible):
-            visible = as_sparse_rows(visible)
+            visible = as_sparse_rows(visible, dtype=self.dtype)
         else:
-            visible = np.atleast_2d(np.asarray(visible, dtype=float))
+            # Tier dtype, not float: a float32/qint8 substrate computes (and
+            # returns) float32 fields — same fix family as clamp_visible.
+            visible = np.atleast_2d(np.asarray(visible, dtype=self.dtype))
         if self.fast_path:
             effective, _ = self._effective_pair()
             return self._field(visible, effective, self.hidden_bias)
@@ -655,7 +710,7 @@ class BipartiteIsingSubstrate:
 
     def visible_field(self, hidden: np.ndarray) -> np.ndarray:
         """Summed row currents seen by the visible nodes (plus node noise)."""
-        hidden = np.atleast_2d(np.asarray(hidden, dtype=float))
+        hidden = np.atleast_2d(np.asarray(hidden, dtype=self.dtype))
         if self.fast_path:
             _, effective_t = self._effective_pair()
             return self._field(hidden, effective_t, self.visible_bias)

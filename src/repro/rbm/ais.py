@@ -15,7 +15,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.config.specs import ComputeSpec, EstimatorSpec
+from repro.analog.converters import dequantize_symmetric, quantize_symmetric
+from repro.config.specs import QINT8, ComputeSpec, EstimatorSpec, compute_dtype
 from repro.rbm.rbm import BernoulliRBM
 from repro.utils.deprecation import warn_kwargs_deprecated
 from repro.utils.numerics import (
@@ -259,7 +260,12 @@ class AISEstimator:
         weights still accumulate in float64 — the MNIST-scale (784x500)
         estimator configuration.  Float32 estimates are pinned
         statistically against the float64 reference
-        (``tests/property/test_precision_tiers.py``).
+        (``tests/property/test_precision_tiers.py``).  ``"qint8"``
+        quantize-dequantizes the RBM's parameters once per estimate
+        (symmetric int8 codes, per-column weight scales, per-tensor bias
+        scales — the substrate's coupling scheme) and then runs the float32
+        sweep on the dequantized parameters; pinned statistically in
+        ``tests/property/test_qint8_tier.py``.
 
     workers:
         Threaded chain pool: ``workers=k > 1`` splits the ``n_chains``
@@ -336,7 +342,11 @@ class AISEstimator:
         # The float32-requires-fast_path constraint is enforced by
         # ComputeSpec itself, on both construction paths.
         self.fast_path = spec.compute.fast_path
-        self.dtype = np.dtype(spec.compute.dtype)
+        # qint8 sweeps run on an up-front quantize-dequantize of the RBM's
+        # parameters (per-column weight scales, per-tensor bias scales) and
+        # then reuse the float32 sweep kernel unchanged below that point.
+        self.quantized = spec.compute.dtype == QINT8
+        self.dtype = compute_dtype(spec.compute.dtype)
         self.workers = spec.compute.workers
         self.executor = spec.compute.executor
         # Seed root for the threaded chain pool's per-shard substreams;
@@ -394,9 +404,27 @@ class AISEstimator:
             rbm.weights, rbm.visible_bias, rbm.hidden_bias, base_bias, v, beta, rng
         )
 
+    def _sweep_params(self, rbm: BernoulliRBM) -> tuple:
+        """The ``(weights, visible_bias, hidden_bias)`` triple the sweep runs on.
+
+        The float tiers hand the RBM's arrays through untouched.  The qint8
+        tier quantizes them once per estimate — int8 codes with per-column
+        (weights) / per-tensor (bias) float32 scales, same scheme as the
+        substrate's effective-weight cache — and sweeps on the float32
+        dequantization, so every kernel below this point is the float32
+        tier's, unchanged.
+        """
+        if not self.quantized:
+            return rbm.weights, rbm.visible_bias, rbm.hidden_bias
+        return (
+            dequantize_symmetric(*quantize_symmetric(rbm.weights, axis=0)),
+            dequantize_symmetric(*quantize_symmetric(rbm.visible_bias)),
+            dequantize_symmetric(*quantize_symmetric(rbm.hidden_bias)),
+        )
+
     def _sweep(
         self,
-        rbm: BernoulliRBM,
+        params: tuple,
         base_bias: np.ndarray,
         betas: list,
         n_chains: int,
@@ -404,9 +432,10 @@ class AISEstimator:
     ) -> np.ndarray:
         """Run the full beta sweep for ``n_chains`` particles on ``rng`` —
         delegates to the module-level :func:`_ais_sweep` shared with the
-        worker processes."""
+        worker processes.  ``params`` is the :meth:`_sweep_params` triple."""
+        weights, visible_bias, hidden_bias = params
         return _ais_sweep(
-            rbm.weights, rbm.visible_bias, rbm.hidden_bias, base_bias,
+            weights, visible_bias, hidden_bias, base_bias,
             betas, n_chains, rng, fast_path=self.fast_path, dtype=self.dtype,
         )
 
@@ -433,6 +462,10 @@ class AISEstimator:
         workers = resolve_workers(self.workers)
         executor = resolve_executor(self.executor)
         base_bias = self._base_bias(rbm)
+        # On the qint8 tier the RBM parameters are quantize-dequantized once
+        # per estimate; every shard (serial, thread, process) sweeps the same
+        # realized couplings, so worker count cannot change the statistics.
+        params = self._sweep_params(rbm)
         # Python-float betas: a NumPy float64 scalar is not a "weak" scalar
         # under NEP 50, so `beta * float32_array` would silently promote the
         # whole float32 sweep back to float64; Python floats multiply
@@ -444,7 +477,7 @@ class AISEstimator:
         log_z_base = rbm.n_hidden * np.log(2.0) + float(np.sum(log1pexp(base_bias)))
 
         if workers == 1 or self.n_chains == 1:
-            log_w = self._sweep(rbm, base_bias, betas, self.n_chains, self._rng)
+            log_w = self._sweep(params, base_bias, betas, self.n_chains, self._rng)
         else:
             # Threaded chain pool: each shard runs the whole sweep for its
             # slice of the particle population on its own substream; the
@@ -463,13 +496,13 @@ class AISEstimator:
                 # state included — and their advanced states are written
                 # back, so the draws are identical to the thread tier and
                 # shard streams stay stateful across estimates.
-                shared = SharedNDArray(np.asarray(rbm.weights, dtype=float))
+                shared = SharedNDArray(np.asarray(params[0], dtype=float))
                 try:
                     descriptor = shared.descriptor
                     tasks = [
                         (
-                            descriptor, np.asarray(rbm.visible_bias, dtype=float),
-                            np.asarray(rbm.hidden_bias, dtype=float), base_bias,
+                            descriptor, np.asarray(params[1], dtype=float),
+                            np.asarray(params[2], dtype=float), base_bias,
                             betas, size, rngs[index], self.fast_path, self.dtype,
                         )
                         for index, size in enumerate(sizes)
@@ -487,7 +520,7 @@ class AISEstimator:
 
                 def sweep(indexed_size):
                     index, size = indexed_size
-                    return self._sweep(rbm, base_bias, betas, size, rngs[index])
+                    return self._sweep(params, base_bias, betas, size, rngs[index])
 
                 blocks = ShardedExecutor(workers).map(sweep, list(enumerate(sizes)))
             log_w = np.concatenate(blocks)

@@ -6,7 +6,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.api.cli import main, parse_set_argument, parse_set_value
+from repro.api.cli import SetArgumentError, main, parse_set_argument, parse_set_value
+from repro.utils.validation import ValidationError
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -39,6 +40,32 @@ class TestSetValueParsing:
 
         with pytest.raises(argparse.ArgumentTypeError, match="key=value"):
             parse_set_argument("workers4")
+
+    @pytest.mark.parametrize(
+        "raw", ["lr=nan", "lr=NaN", "lr=inf", "lr=-inf", "lr=Infinity"]
+    )
+    def test_non_finite_values_rejected_naming_the_key(self, raw):
+        """Satellite: 'nan'/'inf' parse as floats, so without this guard a
+        NaN learning rate or seedless-inf knob sails into the spec layer."""
+        with pytest.raises(ValidationError, match="lr"):
+            parse_set_argument(raw)
+
+    def test_non_finite_tuple_elements_rejected(self):
+        with pytest.raises(ValidationError, match="node_counts"):
+            parse_set_argument("node_counts=400,nan,800")
+
+    def test_set_error_type_serves_both_consumers(self):
+        """SetArgumentError must be a ValidationError for programmatic
+        callers AND an ArgumentTypeError so argparse prints the message."""
+        import argparse
+
+        assert issubclass(SetArgumentError, ValidationError)
+        assert issubclass(SetArgumentError, argparse.ArgumentTypeError)
+
+    def test_non_finite_set_fails_through_main(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "table2", "--set", "node_counts=nan"])
+        assert "finite" in capsys.readouterr().err
 
 
 class TestMain:
@@ -91,6 +118,39 @@ class TestMain:
     def test_run_without_names_errors(self, capsys):
         with pytest.raises(SystemExit):
             main(["run"])
+
+    def test_quantize_requires_save_model(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "figure9", "--quantize"])
+        assert "--save-model" in capsys.readouterr().err
+
+    def test_save_model_quantize_writes_quantized_bundle(self, tmp_path, capsys):
+        """Acceptance: the CLI trains, quantizes and persists an artifact
+        that loads back as float32 parameters."""
+        import json
+
+        import numpy as np
+
+        from repro.serve import load_model
+
+        stem = tmp_path / "fig9q"
+        assert main(
+            ["run", "figure9", "--set", "epochs=1",
+             "--save-model", str(stem), "--quantize"]
+        ) == 0
+        assert "saved figure9 model artifact" in capsys.readouterr().out
+        meta = json.loads((tmp_path / "fig9q.json").read_text())
+        assert meta["quantized"] is True
+        assert "weights_q" in meta["arrays"]
+        artifact = load_model(stem)
+        assert artifact.rbm.weights.dtype == np.float32
+
+    def test_dtype_qint8_routes_into_compute_spec(self, capsys):
+        """`--set dtype=qint8` reaches the run's ComputeSpec and the run
+        completes on the quantized tier (figure7 threads the dtype knob)."""
+        assert main(["run", "figure7", "--set", "epochs=2",
+                     "--set", "dtype=qint8"]) == 0
+        assert "=== figure7" in capsys.readouterr().out
 
     def test_seed_override_flips_preset_label_to_custom(self, capsys):
         assert main(["run", "table3", "--seed", "9"]) == 2  # table3 is seedless

@@ -12,6 +12,7 @@ from repro.config import (
     SubstrateSpec,
     TrainerSpec,
     ValidationError,
+    compute_dtype,
 )
 from repro.analog.noise import NoiseConfig
 
@@ -29,12 +30,28 @@ class TestComputeSpec:
 
     @pytest.mark.parametrize("dtype", ["int8", "float16", "complex128", object])
     def test_bad_dtype_rejected(self, dtype):
-        with pytest.raises(ValidationError, match="dtype must be float32 or float64"):
+        with pytest.raises(
+            ValidationError, match="dtype must be float32, float64 or qint8"
+        ):
             ComputeSpec(dtype=dtype)
 
     def test_float32_requires_fast_path(self):
         with pytest.raises(ValidationError, match="fast_path"):
             ComputeSpec(dtype="float32", fast_path=False)
+
+    def test_qint8_tier_accepted_and_canonicalized(self):
+        assert ComputeSpec(dtype="qint8").dtype == "qint8"
+        # The tier label tolerates case/whitespace like the float tiers.
+        assert ComputeSpec(dtype=" QINT8 ").dtype == "qint8"
+
+    def test_qint8_requires_fast_path(self):
+        with pytest.raises(ValidationError, match="fast_path"):
+            ComputeSpec(dtype="qint8", fast_path=False)
+
+    def test_compute_dtype_maps_tier_labels(self):
+        assert compute_dtype("float64") == np.dtype(np.float64)
+        assert compute_dtype("float32") == np.dtype(np.float32)
+        assert compute_dtype("qint8") == np.dtype(np.float32)
 
     @pytest.mark.parametrize("workers", [0, -1, 2.5, "two", True, [2]])
     def test_bad_workers_rejected_at_construction(self, workers):
@@ -143,6 +160,9 @@ class TestTrainerSpec:
     def test_cd_is_float64_only(self):
         with pytest.raises(ValidationError, match="float64"):
             TrainerSpec(kind="cd", compute=ComputeSpec(dtype="float32"))
+        # The quantized tier is a hardware-trainer tier like float32.
+        with pytest.raises(ValidationError, match="float64"):
+            TrainerSpec(kind="cd", compute=ComputeSpec(dtype="qint8"))
 
     def test_cd_rejects_hardware_sampler_and_noise_knobs(self):
         with pytest.raises(ValidationError, match="kind='gs'"):
@@ -230,6 +250,11 @@ class TestRunSpec:
         TrainerSpec.gs(0.2, chains=4, persistent=True, compute=ComputeSpec(workers=2)),
         TrainerSpec.bgf(0.1, step_size=0.005, burn_in=1, noise=NoiseSpec(0.1, 0.1)),
         EstimatorSpec(chains=32, betas=100, compute=ComputeSpec(dtype="float32")),
+        SubstrateSpec(
+            n_visible=12,
+            n_hidden=6,
+            compute=ComputeSpec(dtype="qint8", workers=2),
+        ),
         RunSpec(
             experiment="figure7",
             preset="paper",

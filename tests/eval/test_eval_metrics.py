@@ -111,6 +111,23 @@ class TestROC:
         with pytest.raises(ValidationError):
             roc_curve(np.array([]), np.array([]))
 
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_scores_rejected(self, bad):
+        """Satellite: NaN compares false with everything, so it would sort
+        arbitrarily and yield an input-order-dependent curve/AUC."""
+        scores = np.array([0.1, bad, 0.9, 0.4])
+        labels = np.array([0, 1, 1, 0])
+        with pytest.raises(ValidationError, match="finite"):
+            roc_curve(scores, labels)
+        with pytest.raises(ValidationError, match="finite"):
+            roc_auc(scores, labels)
+
+    def test_non_finite_message_counts_offenders(self):
+        with pytest.raises(ValidationError, match="2 non-finite"):
+            roc_curve(
+                np.array([np.nan, 0.5, np.inf, 0.2]), np.array([0, 1, 0, 1])
+            )
+
 
 class TestKLDivergence:
     def test_zero_for_identical(self):

@@ -1,0 +1,122 @@
+"""Dtype stability of every public substrate path, on all three tiers.
+
+The precision tiers are a contract about *every* array a substrate hands
+back, not just the hot settle kernels: a float64 leak out of one entry
+point (the original bug was ``clamp_visible``'s dense DTC path coercing to
+``dtype=float``) silently upcasts every downstream matmul via NumPy
+promotion, erasing the tier's memory/bandwidth win without failing a
+single statistical test.  This suite walks the full public surface —
+clamp, fields, probabilities, conditional samples, chain settles,
+reconstruction — on float64, float32 and qint8 substrates, feeds each
+entry point deliberately float64 inputs, and asserts the output dtype is
+the tier's compute dtype (float32 for qint8: the codes live behind the
+effective-weight cache).
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.config.specs import ComputeSpec, SubstrateSpec, compute_dtype
+from repro.ising.bipartite import BipartiteIsingSubstrate
+
+TIERS = ["float64", "float32", "qint8"]
+
+N_VISIBLE, N_HIDDEN = 12, 5
+
+
+def _substrate(tier: str, *, input_bits) -> BipartiteIsingSubstrate:
+    substrate = BipartiteIsingSubstrate(
+        spec=SubstrateSpec(
+            n_visible=N_VISIBLE,
+            n_hidden=N_HIDDEN,
+            input_bits=input_bits,
+            compute=ComputeSpec(dtype=tier),
+        ),
+        rng=3,
+    )
+    rng = np.random.default_rng(9)
+    substrate.program(
+        rng.normal(0.0, 0.4, (N_VISIBLE, N_HIDDEN)),
+        rng.normal(0.0, 0.2, N_VISIBLE),
+        rng.normal(0.0, 0.2, N_HIDDEN),
+    )
+    return substrate
+
+
+@pytest.fixture(params=TIERS)
+def tier(request):
+    return request.param
+
+
+@pytest.fixture
+def substrate(tier):
+    return _substrate(tier, input_bits=8)
+
+
+@pytest.fixture
+def expected(tier):
+    return compute_dtype(tier)
+
+
+# Deliberately float64 inputs: the tier must coerce at the boundary.
+def _visible_batch(n=4):
+    return (np.random.default_rng(1).random((n, N_VISIBLE)) < 0.5).astype(float)
+
+
+def _hidden_batch(n=4):
+    return (np.random.default_rng(2).random((n, N_HIDDEN)) < 0.5).astype(float)
+
+
+class TestPublicPathsStayInTier:
+    def test_programmed_parameters(self, substrate, expected):
+        assert substrate.weights.dtype == expected
+        assert substrate.visible_bias.dtype == expected
+        assert substrate.hidden_bias.dtype == expected
+
+    def test_clamp_visible_dense_with_dtc(self, substrate, expected):
+        """The original leak: the dense DTC path returned float64 on the
+        float32 tier."""
+        assert substrate.input_dtc is not None
+        assert substrate.clamp_visible(_visible_batch()).dtype == expected
+
+    def test_clamp_visible_dense_without_dtc(self, tier, expected):
+        substrate = _substrate(tier, input_bits=None)
+        assert substrate.clamp_visible(_visible_batch()).dtype == expected
+
+    @pytest.mark.sparse
+    def test_clamp_visible_sparse(self, substrate, expected):
+        clamped = substrate.clamp_visible(sp.csr_matrix(_visible_batch()))
+        assert clamped.dtype == expected
+
+    def test_hidden_and_visible_field(self, substrate, expected):
+        assert substrate.hidden_field(_visible_batch()).dtype == expected
+        assert substrate.visible_field(_hidden_batch()).dtype == expected
+
+    def test_probabilities(self, substrate, expected):
+        assert substrate.hidden_probability(_visible_batch()).dtype == expected
+        assert substrate.visible_probability(_hidden_batch()).dtype == expected
+
+    def test_conditional_samples(self, substrate, expected):
+        assert substrate.sample_hidden_given_visible(_visible_batch()).dtype == expected
+        assert substrate.sample_visible_given_hidden(_hidden_batch()).dtype == expected
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_settle_batch(self, substrate, expected, workers):
+        visible, hidden = substrate.settle_batch(_hidden_batch(), 2, workers=workers)
+        assert visible.dtype == expected
+        assert hidden.dtype == expected
+
+    def test_gibbs_chain(self, substrate, expected):
+        visible, hidden = substrate.gibbs_chain(_hidden_batch(1), 3)
+        assert visible.dtype == expected
+        assert hidden.dtype == expected
+
+    def test_reconstruct(self, substrate, expected):
+        assert substrate.reconstruct(_visible_batch()).dtype == expected
+
+    def test_fields_from_clamped_state_stay_in_tier(self, substrate, expected):
+        """Compose the two paths the leak coupled: a clamped batch fed back
+        through the field kernels must not re-promote to float64."""
+        clamped = substrate.clamp_visible(_visible_batch())
+        assert substrate.hidden_field(clamped).dtype == expected

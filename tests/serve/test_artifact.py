@@ -12,6 +12,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.analog import dequantize_symmetric, quantize_symmetric
 from repro.config.specs import RunSpec
 from repro.core import GibbsSamplerTrainer
 from repro.eval import RBMAnomalyDetector, RBMRecommender
@@ -125,6 +126,111 @@ class TestRoundTrip:
         # The dict form is accepted too (what the CLI passes through).
         save_model(_random_rbm(), tmp_path / "m2", run_spec=spec.to_dict())
         assert load_model(tmp_path / "m2").run_spec == spec
+
+
+class TestQuantizedArtifact:
+    """``save_model(..., quantize=True)``: int8 codes + float32 scales."""
+
+    def test_codes_and_scales_round_trip_losslessly(self, tmp_path):
+        rbm = _random_rbm(dtype=np.float32)
+        npz_path = save_model(rbm, tmp_path / "q", quantize=True)
+        expected = {
+            "weights": quantize_symmetric(rbm.weights, axis=0),
+            "visible_bias": quantize_symmetric(rbm.visible_bias),
+            "hidden_bias": quantize_symmetric(rbm.hidden_bias),
+        }
+        with np.load(npz_path) as npz:
+            assert sorted(npz.files) == sorted(
+                name + suffix for name in expected for suffix in ("_q", "_scale")
+            )
+            for name, (codes, scales) in expected.items():
+                stored_codes = npz[name + "_q"]
+                stored_scales = npz[name + "_scale"]
+                assert stored_codes.dtype == np.int8
+                assert int(np.abs(stored_codes).max()) <= 127
+                assert stored_scales.dtype == np.float32
+                np.testing.assert_array_equal(stored_codes, codes)
+                np.testing.assert_array_equal(stored_scales, scales)
+
+    def test_load_dequantizes_to_float32_parameters(self, tmp_path):
+        rbm = _random_rbm(dtype=np.float32)
+        save_model(rbm, tmp_path / "q", quantize=True)
+        artifact = load_model(tmp_path / "q")
+        assert artifact.meta["quantized"] is True
+        for name in ("weights", "visible_bias", "hidden_bias"):
+            stored = getattr(artifact.rbm, name)
+            original = getattr(rbm, name)
+            assert stored.dtype == np.float32
+            codes, scales = quantize_symmetric(
+                original, axis=0 if original.ndim == 2 else None
+            )
+            np.testing.assert_array_equal(stored, dequantize_symmetric(codes, scales))
+        rows = (np.random.default_rng(2).random((5, 16)) < 0.5).astype(float)
+        # Scores shift by at most the quantization LSB's worth of energy.
+        np.testing.assert_allclose(
+            artifact.scorer()(rows), rbm.score_samples(rows), atol=0.5
+        )
+
+    def test_quantized_bundle_is_at_least_3x_smaller(self, tmp_path):
+        rbm = _random_rbm(n_visible=784, n_hidden=500, dtype=np.float32, seed=4)
+        full_path = save_model(rbm, tmp_path / "full")
+        quantized_path = save_model(rbm, tmp_path / "quant", quantize=True)
+        ratio = full_path.stat().st_size / quantized_path.stat().st_size
+        assert ratio >= 3.0
+
+    def test_chain_state_stays_full_precision(self, tmp_path):
+        rbm = _random_rbm()
+        chains = (np.random.default_rng(3).random((4, 16)) < 0.5).astype(float)
+        save_model(rbm, tmp_path / "q", quantize=True, chain_state=chains)
+        artifact = load_model(tmp_path / "q")
+        assert artifact.chain_state.dtype == np.float64
+        np.testing.assert_array_equal(artifact.chain_state, chains)
+
+    def test_quantized_save_reload_is_idempotent_on_values(self, tmp_path):
+        """Dequantized parameters re-quantize to the same codes, so a
+        quantized artifact survives load -> save -> load unchanged."""
+        rbm = _random_rbm(dtype=np.float32)
+        save_model(rbm, tmp_path / "q1", quantize=True)
+        first = load_model(tmp_path / "q1")
+        save_model(first.rbm, tmp_path / "q2", quantize=True)
+        second = load_model(tmp_path / "q2")
+        for name in ("weights", "visible_bias", "hidden_bias"):
+            np.testing.assert_array_equal(
+                getattr(first.rbm, name), getattr(second.rbm, name)
+            )
+
+    def test_builds_without_quantized_support_would_fail_loudly(self, tmp_path):
+        """The quantized bundle deliberately has no 'weights' array: a
+        loader that ignores meta['quantized'] hits the required-array
+        check instead of silently rebuilding a garbage model."""
+        save_model(_random_rbm(), tmp_path / "q", quantize=True)
+        json_path = tmp_path / "q.json"
+        meta = json.loads(json_path.read_text())
+        meta["quantized"] = False  # what a pre-quantization loader sees
+        json_path.write_text(json.dumps(meta))
+        with pytest.raises(ValidationError, match="'weights' is missing"):
+            load_model(tmp_path / "q")
+
+    def test_quantized_flag_on_plain_bundle_fails_loudly(self, tmp_path):
+        save_model(_random_rbm(), tmp_path / "m")
+        json_path = tmp_path / "m.json"
+        meta = json.loads(json_path.read_text())
+        meta["quantized"] = True
+        json_path.write_text(json.dumps(meta))
+        with pytest.raises(ValidationError, match="quantized bundle is missing"):
+            load_model(tmp_path / "m")
+
+    def test_quantized_anomaly_detector_still_ranks(self, tmp_path, tiny_fraud_dataset):
+        """A quantized estimator artifact keeps its scoring behavior: the
+        anomaly ranking survives the int8 round trip."""
+        detector = RBMAnomalyDetector(n_hidden=8, epochs=3, rng=0).fit(
+            tiny_fraud_dataset
+        )
+        save_model(detector, tmp_path / "det", quantize=True)
+        artifact = load_model(tmp_path / "det")
+        direct = detector.anomaly_scores(tiny_fraud_dataset.test_x)
+        loaded = artifact.model.anomaly_scores(tiny_fraud_dataset.test_x)
+        assert np.corrcoef(direct, loaded)[0, 1] > 0.99
 
 
 class TestChainStateRoundTrip:
