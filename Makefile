@@ -1,10 +1,25 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-workers test-procs test-sparse run-ci serve-smoke bench bench-compare bench-compare-ci artifacts
+.PHONY: test test-workers test-procs test-sparse lint run-ci serve-smoke bench bench-compare bench-compare-ci artifacts
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Static-analysis leg of the tier-1 workflow: reprolint enforces the
+## repo's own invariants over src/ (R001 no global RNG, R002 dtype-tier
+## hygiene in kernel modules, R003 lock discipline, R004 async purity in
+## the serving layer, R005 spec-layer construction — see docs/dev.md),
+## then ruff runs the generic pyflakes/import-hygiene baseline from
+## pyproject.toml.  ruff is optional locally (the dev container doesn't
+## ship it); CI installs it, so the baseline still gates every PR.
+lint:
+	$(PYTHON) -m repro lint src
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src; \
+	else \
+		echo "lint: ruff not installed; skipping the pyflakes baseline (CI runs it)"; \
+	fi
 
 ## Sparse/streaming leg of the tier-1 workflow: the CSR kernel
 ## equivalence, streaming partial_fit bit-identity, one-hot encoder, and

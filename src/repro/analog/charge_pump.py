@@ -18,7 +18,7 @@ the properties the paper calls out:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -91,7 +91,7 @@ class ChargePumpUpdater:
             self._unit_gain = 1.0 + self._rng.normal(0.0, self.variation_rms, size=self.shape)
             self._unit_gain = np.maximum(self._unit_gain, 0.05)
         else:
-            self._unit_gain = np.ones(self.shape)
+            self._unit_gain = np.ones(self.shape, dtype=np.float64)
         # step_size and the static per-unit gain never change after
         # construction, so their product is precomputed once; every update
         # path reads this (and must never mutate it).

@@ -90,7 +90,7 @@ def quantize_symmetric(
     if not np.all(np.isfinite(values)):
         raise ValidationError("cannot quantize non-finite values")
     q_max = (1 << (n_bits - 1)) - 1
-    amax = np.max(np.abs(values), axis=axis) if values.size else np.zeros(())
+    amax = np.max(np.abs(values), axis=axis) if values.size else np.zeros((), dtype=np.float64)
     scales = np.where(amax > 0.0, amax / q_max, 1.0)
     # Compute the scales in float64 but *divide by the stored float32 value*:
     # dequantization multiplies by the float32 scale, so rounding against the

@@ -17,7 +17,7 @@ shared by the Gibbs-sampler and Boltzmann-gradient-follower machines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -96,7 +96,7 @@ class NoiseModel:
                 0.0, config.variation_rms, size=self.coupling_shape
             )
         else:
-            self._coupling_gain = np.ones(self.coupling_shape)
+            self._coupling_gain = np.ones(self.coupling_shape, dtype=np.float64)
 
     def spawn_substream(self, rng: SeedLike) -> "NoiseModel":
         """A noise-model view drawing its *dynamic* noise from ``rng``.
@@ -162,13 +162,13 @@ class NoiseModel:
         the standard deviation or typical magnitude of the clean signal).
         """
         if self.config.noise_rms == 0.0:
-            return np.zeros(shape)
+            return np.zeros(shape, dtype=np.float64)
         return self._rng.normal(0.0, self.config.noise_rms * scale, size=shape)
 
     def coupling_noise(self, scale: float = 1.0) -> np.ndarray:
         """Fresh dynamic noise applied multiplicatively at the coupling units."""
         if self.config.noise_rms == 0.0:
-            return np.zeros(self.coupling_shape)
+            return np.zeros(self.coupling_shape, dtype=np.float64)
         return self._rng.normal(0.0, self.config.noise_rms * scale, size=self.coupling_shape)
 
     def perturbed_coupling(self, weights: np.ndarray) -> np.ndarray:

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.utils.numerics import fused_sigmoid_bernoulli
 from repro.utils.rng import SeedLike, as_rng
-from repro.utils.validation import ValidationError, check_in_range, check_positive
+from repro.utils.validation import ValidationError, check_positive
 
 
 class ThermalNoiseRNG:
@@ -84,7 +84,7 @@ class DynamicComparator:
         gen = as_rng(rng)
         self._has_offsets = offset_rms > 0
         self.offsets = (
-            gen.normal(0.0, offset_rms, size=n_units) if offset_rms > 0 else np.zeros(n_units)
+            gen.normal(0.0, offset_rms, size=n_units) if offset_rms > 0 else np.zeros(n_units, dtype=np.float64)
         )
 
     def compare(self, signal: np.ndarray, reference: np.ndarray) -> np.ndarray:
@@ -95,7 +95,7 @@ class DynamicComparator:
             raise ValidationError(
                 f"signal last dimension {signal.shape[-1]} does not match n_units={self.n_units}"
             )
-        return (signal + self.offsets > reference).astype(float)
+        return (signal + self.offsets > reference).astype(np.float64)
 
 
 class StochasticNeuronSampler:

@@ -10,6 +10,7 @@ Usage::
     python -m repro run figure9 --save-model model/fig9   # train + persist
     python -m repro serve model/fig9              # micro-batched scoring TCP
     python -m repro serve model/fig9 --self-test  # in-process service check
+    python -m repro lint src --format json        # repo invariant checks
 
 ``--set key=value`` overrides route through the typed spec layer: compute
 knobs (``dtype``/``workers``/``fast_path``) land in the run's
@@ -27,7 +28,7 @@ import argparse
 import math
 import sys
 import time
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 from repro.api.facade import run_experiment
 from repro.api.registry import get_experiment, list_experiments
@@ -193,6 +194,17 @@ def _build_parser() -> argparse.ArgumentParser:
              "bit-identity vs direct scoring, p50/p99 report) and exit "
              "instead of binding a socket",
     )
+
+    from repro.tools.lint.runner import build_parser as build_lint_parser
+
+    build_lint_parser(
+        subparsers.add_parser(
+            "lint",
+            help="run reprolint, the repo's AST checks (R001-R005)",
+            description="reprolint: AST-based checks of the repo's"
+            " invariants (see docs/dev.md).",
+        )
+    )
     return parser
 
 
@@ -264,6 +276,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "lint":
+        from repro.tools.lint.runner import run_lint
+
+        return run_lint(
+            args.paths,
+            select=args.select,
+            output_format=args.output_format,
+            list_rules=args.list_rules,
+        )
     if args.command != "run":
         parser.print_help()
         return 2

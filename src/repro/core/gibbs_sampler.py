@@ -456,7 +456,7 @@ class GibbsSamplerTrainer:
         ):
             self._chains_h = (
                 self._rng.random((self.chains, rbm.n_hidden)) < 0.5
-            ).astype(float)
+            ).astype(np.float64)
 
     def _validate_entry_state(self, rbm: BernoulliRBM) -> None:
         """The fast path's once-per-entry finiteness scan of the model arrays."""

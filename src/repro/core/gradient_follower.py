@@ -221,7 +221,7 @@ class BoltzmannGradientFollower:
         self.host.record_programming()
         self._particles = (
             self._rng.random((self.config.n_particles, self.n_hidden)) < 0.5
-        ).astype(float)
+        ).astype(np.float64)
         self._particle_cursor = 0
 
     def refresh_particles(
@@ -351,7 +351,7 @@ class BoltzmannGradientFollower:
         clamped = self.substrate.clamp_visible(chunk)
         v_bits_all = (
             self._rng.random(clamped.shape) < np.clip(clamped, 0.0, 1.0)
-        ).astype(float)
+        ).astype(np.float64)
         self.host.record_sample_streamed(chunk.shape[0])
         for i in range(chunk.shape[0]):
             self._positive_step_fast(clamped[i : i + 1], v_bits_all[i])

@@ -12,7 +12,7 @@ model in :mod:`repro.hardware`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -8,7 +8,7 @@ large for memory can feed training one chunk at a time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Protocol, Tuple, runtime_checkable
 
 import numpy as np

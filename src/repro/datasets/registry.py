@@ -19,8 +19,8 @@ Two "scales" are supported everywhere:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.datasets import synthetic_images
 from repro.datasets.fraud import make_fraud_like

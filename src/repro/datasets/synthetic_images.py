@@ -24,7 +24,7 @@ through a convolutional-RBM feature extractor, which we reproduce in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

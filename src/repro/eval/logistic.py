@@ -8,7 +8,6 @@ gradient descent; it exists so the library needs no sklearn dependency.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

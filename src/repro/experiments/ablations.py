@@ -12,7 +12,7 @@ reproduction rather than to a specific paper artifact.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -15,7 +15,7 @@ not to the right of (worse than) CD's.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

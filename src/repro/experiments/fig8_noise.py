@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.analog.noise import FIGURE8_NOISE_CONFIGS, NoiseConfig
 from repro.config.specs import NoiseSpec, TrainerSpec

@@ -16,7 +16,7 @@ the discrepancy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.utils.validation import ValidationError
 

@@ -33,7 +33,7 @@ slowest.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -41,13 +41,12 @@ import numpy as np
 from repro.datasets.registry import (
     FIGURE5_DBN_BENCHMARKS,
     FIGURE5_RBM_BENCHMARKS,
-    TABLE1_CONFIGS,
     get_benchmark,
 )
 from repro.hardware.components import BGF_LIBRARY, GIBBS_SAMPLER_LIBRARY
 from repro.hardware.gpu import GPUModel, TESLA_T4
 from repro.hardware.tpu import TPUModel, TPU_V1
-from repro.utils.validation import ValidationError, check_positive
+from repro.utils.validation import ValidationError
 
 #: Nominal training-set sizes of the paper's benchmarks (samples per epoch).
 NOMINAL_SAMPLE_COUNTS: Dict[str, int] = {

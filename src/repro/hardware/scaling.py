@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.datasets.registry import TABLE1_CONFIGS, get_benchmark
 from repro.hardware.components import BGF_LIBRARY

@@ -85,7 +85,7 @@ class SimulatedAnnealingSolver:
 
         energy = float(np.atleast_1d(model.energy(spins))[0])
         best_spins, best_energy = spins.copy(), energy
-        trace = np.empty(self.n_sweeps)
+        trace = np.empty(self.n_sweeps, dtype=np.float64)
         accepted = 0
 
         temperatures = self.schedule.discretize(self.n_sweeps)

@@ -51,7 +51,7 @@ from repro.utils.parallel import (
     shard_slices,
 )
 from repro.utils.numerics import as_sparse_rows, is_sparse, safe_sparse_dot
-from repro.utils.rng import SeedLike, as_rng, spawn_rngs
+from repro.utils.rng import SeedLike, spawn_rngs
 from repro.utils.validation import (
     ValidationError,
     check_array,
@@ -307,6 +307,13 @@ class BipartiteIsingSubstrate:
         code path, so seeded results are bit-identical.  See ``docs/api.md``.
     """
 
+    # Lock discipline (enforced by reprolint R003, see docs/dev.md): the
+    # effective-weight cache, its qint8 code/scale snapshot, and its
+    # shared-memory publication are one consistent unit — every access
+    # outside the lock must carry an explicit justification.
+    # reprolint: guard(_cache_lock)=_eff_cache,_quantized_static,_shm_static
+
+    # reprolint: lockfree -- construction happens-before sharing: no other thread holds a reference until __init__ returns, so the initial cache-field writes need no lock
     def __init__(
         self,
         n_visible: Optional[int] = None,
@@ -641,7 +648,7 @@ class BipartiteIsingSubstrate:
         and the build itself is serialized so concurrent settles agree on
         one ``(effective, effective.T)`` pair.
         """
-        cache = self._eff_cache
+        cache = self._eff_cache  # reprolint: disable=R003 -- double-checked locking: the one lock-free read, snapshotted into a local so a racing invalidation can never turn a passed None-check into an unpack of None
         if cache is None:
             with self._cache_lock:
                 cache = self._eff_cache

@@ -153,7 +153,7 @@ class BRIMSimulator:
                 )
             voltages = np.clip(voltages, -1.0, 1.0)
 
-        trace = np.empty(cfg.n_steps) if record_trace else np.empty(0)
+        trace = np.empty(cfg.n_steps, dtype=np.float64) if record_trace else np.empty(0, dtype=np.float64)
         for step in range(cfg.n_steps):
             progress = step / max(cfg.n_steps - 1, 1)
             coupling_current = cfg.coupling_gain * (voltages @ model.couplings + model.fields)
@@ -204,7 +204,7 @@ class BRIMSimulator:
             flip_probability_scale=self.config.flip_probability_scale,
         )
         sampler = BRIMSimulator(short_cfg, schedule=self.schedule, rng=self._rng)
-        samples = np.empty((n_samples, model.n_spins))
+        samples = np.empty((n_samples, model.n_spins), dtype=np.float64)
         voltages = self._rng.uniform(-0.1, 0.1, size=model.n_spins)
         for i in range(n_samples):
             result = sampler.run(model, initial_voltages=voltages, record_trace=False)

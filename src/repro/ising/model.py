@@ -60,7 +60,7 @@ class IsingModel:
             np.fill_diagonal(sym, 0.0)
         self.couplings = sym
         if fields is None:
-            fields = np.zeros(n)
+            fields = np.zeros(n, dtype=np.float64)
         self.fields = check_array(fields, name="fields", shape=(n,))
 
     @property
@@ -127,7 +127,7 @@ class IsingModel:
         """
         m, n = rbm.n_visible, rbm.n_hidden
         size = m + n
-        q_matrix = np.zeros((size, size))
+        q_matrix = np.zeros((size, size), dtype=np.float64)
         # E(v,h) = -v'Wh - bv.v - bh.h  is a QUBO with Q_vh = -W, diag = -biases.
         q_matrix[:m, m:] = -rbm.weights / 2.0
         q_matrix[m:, :m] = -rbm.weights.T / 2.0

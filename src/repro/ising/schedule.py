@@ -32,8 +32,10 @@ class AnnealingSchedule(abc.ABC):
         if n_steps < 1:
             raise ValidationError(f"n_steps must be >= 1, got {n_steps}")
         if n_steps == 1:
-            return np.array([self.value(0.0)])
-        return np.array([self.value(t) for t in np.linspace(0.0, 1.0, n_steps)])
+            return np.array([self.value(0.0)], dtype=np.float64)
+        return np.array(
+            [self.value(t) for t in np.linspace(0.0, 1.0, n_steps)], dtype=np.float64
+        )
 
 
 class LinearSchedule(AnnealingSchedule):

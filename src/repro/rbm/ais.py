@@ -11,7 +11,7 @@ accumulating importance weights along Gibbs transitions at each step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -110,7 +110,7 @@ def _ais_sweep(
     """
     # Initial samples from the base-rate model.
     v = bernoulli_sample(np.tile(sigmoid(base_bias), (n_chains, 1)), rng)
-    log_w = np.zeros(n_chains)
+    log_w = np.zeros(n_chains, dtype=np.float64)
     if fast_path:
         # Vectorized sweep: one (chains x n_hidden) input matmul per
         # temperature, shared by the weight update at both adjacent betas
@@ -371,7 +371,7 @@ class AISEstimator:
     # ------------------------------------------------------------------ #
     def _base_bias(self, rbm: BernoulliRBM) -> np.ndarray:
         if self.base_visible_bias is None:
-            return np.zeros(rbm.n_visible)
+            return np.zeros(rbm.n_visible, dtype=np.float64)
         if self.base_visible_bias.shape != (rbm.n_visible,):
             raise ValidationError(
                 "base_visible_bias shape does not match the RBM's visible layer"

@@ -15,13 +15,13 @@ than raw pixels.  This module implements that front-end:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.utils.numerics import bernoulli_sample, sigmoid
 from repro.utils.rng import SeedLike, as_rng
-from repro.utils.validation import ValidationError, check_array, check_positive
+from repro.utils.validation import ValidationError, check_positive
 
 
 def _extract_patches(images: np.ndarray, patch: int) -> np.ndarray:
@@ -35,7 +35,7 @@ def _extract_patches(images: np.ndarray, patch: int) -> np.ndarray:
         raise ValidationError(
             f"patch size {patch} does not fit images of spatial size {h}x{w}"
         )
-    patches = np.empty((n, out_h, out_w, patch * patch * c))
+    patches = np.empty((n, out_h, out_w, patch * patch * c), dtype=np.float64)
     for dy in range(patch):
         for dx in range(patch):
             block = images[:, dy : dy + out_h, dx : dx + out_w, :]
@@ -90,7 +90,7 @@ class ConvolutionalRBM:
         self.filters = self._rng.normal(
             0.0, weight_scale, size=(n_filters, filter_size * filter_size * c)
         )
-        self.hidden_bias = np.zeros(n_filters)
+        self.hidden_bias = np.zeros(n_filters, dtype=np.float64)
         self.visible_bias = 0.0
 
     # ------------------------------------------------------------------ #

@@ -44,7 +44,7 @@ def pseudo_log_likelihood(
             f"data has {data.shape[1]} features; RBM has {rbm.n_visible} visible units"
         )
     gen = as_rng(rng)
-    v = (data > 0.5).astype(float)
+    v = (data > 0.5).astype(np.float64)
     flip_idx = gen.integers(0, rbm.n_visible, size=v.shape[0])
     v_flipped = v.copy()
     rows = np.arange(v.shape[0])

@@ -16,7 +16,6 @@ from repro.utils.numerics import (
     is_sparse,
     logsumexp,
     safe_sparse_dot,
-    sigmoid,
     sparse_mean,
     sparse_mean_squared_error,
 )

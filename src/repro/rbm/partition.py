@@ -41,7 +41,7 @@ def enumerate_states(n_bits: int) -> np.ndarray:
             f"limit is {MAX_ENUMERATION_BITS} bits"
         )
     count = 1 << n_bits
-    states = ((np.arange(count)[:, None] >> np.arange(n_bits)[None, :]) & 1).astype(float)
+    states = ((np.arange(count)[:, None] >> np.arange(n_bits)[None, :]) & 1).astype(np.float64)
     return states
 
 
@@ -142,5 +142,5 @@ def empirical_visible_distribution(data: np.ndarray, n_visible: int) -> np.ndarr
         raise ValidationError("empirical distribution enumeration is intractable")
     weights = (1 << np.arange(n_visible)).astype(np.int64)
     indices = (data.astype(np.int64) @ weights).astype(np.int64)
-    counts = np.bincount(indices, minlength=1 << n_visible).astype(float)
+    counts = np.bincount(indices, minlength=1 << n_visible).astype(np.float64)
     return counts / counts.sum()

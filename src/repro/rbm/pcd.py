@@ -115,7 +115,9 @@ class PCDTrainer:
         self._particles_v = particles.copy()
 
     def _init_particles(self, rbm: BernoulliRBM) -> None:
-        self._particles_v = (self._rng.random((self.n_particles, rbm.n_visible)) < 0.5).astype(float)
+        self._particles_v = (
+            self._rng.random((self.n_particles, rbm.n_visible)) < 0.5
+        ).astype(np.float64)
 
     def _advance_particles(self, rbm: BernoulliRBM) -> tuple[np.ndarray, np.ndarray]:
         """Advance every particle by ``gibbs_steps`` full Gibbs steps."""

@@ -69,8 +69,8 @@ class BernoulliRBM:
         self.n_hidden = int(n_hidden)
         self._rng = as_rng(rng)
         self.weights = self._rng.normal(0.0, weight_scale, size=(n_visible, n_hidden))
-        self.visible_bias = np.zeros(n_visible)
-        self.hidden_bias = np.zeros(n_hidden)
+        self.visible_bias = np.zeros(n_visible, dtype=np.float64)
+        self.hidden_bias = np.zeros(n_hidden, dtype=np.float64)
 
     # ------------------------------------------------------------------ #
     # Parameters

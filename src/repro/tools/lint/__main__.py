@@ -1,0 +1,6 @@
+"""``python -m repro.tools.lint`` — direct entry to the reprolint driver."""
+
+from repro.tools.lint.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,7 @@ densification, so the streaming pipeline (``iter_chunks`` -> ``rebatch`` ->
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 

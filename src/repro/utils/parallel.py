@@ -288,6 +288,13 @@ class SharedNDArray:
     were already handed the descriptor can still attach.
     """
 
+    # The pin count and the deferred-close flag form one atomic unit: close
+    # decides "defer or unlink" and release decides "last pin runs the
+    # deferred close" — both decisions are wrong if the fields are read
+    # without the lock (enforced by reprolint R003, see docs/dev.md).
+    # reprolint: guard(_pin_lock)=_pins,_close_pending
+
+    # reprolint: lockfree -- construction happens-before sharing: the array is published to other threads only after __init__ returns
     def __init__(self, array: np.ndarray):
         from multiprocessing import shared_memory
 

@@ -13,7 +13,7 @@ sources obtain decorrelated streams without manual seed bookkeeping.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from typing import Union
 
 import numpy as np
 

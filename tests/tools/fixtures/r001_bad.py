@@ -1,0 +1,14 @@
+"""R001 known-bad: global-stream convenience draws, seeding, RandomState."""
+
+import numpy as np
+import numpy.random as npr
+from numpy.random import rand
+
+
+def draws():
+    np.random.seed(0)
+    a = np.random.rand(3, 3)
+    b = npr.normal(size=4)
+    c = rand(2)
+    d = np.random.RandomState(7)
+    return a, b, c, d

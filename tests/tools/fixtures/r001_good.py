@@ -1,0 +1,14 @@
+"""R001 known-good: every draw flows from an explicit Generator."""
+
+import numpy as np
+
+from numpy.random import PCG64, SeedSequence, default_rng
+
+
+def draws(seed):
+    rng = default_rng(seed)
+    other = np.random.default_rng(SeedSequence(seed))
+    legacy_bits = np.random.Generator(np.random.PCG64(seed))
+    philox = np.random.Philox(seed)
+    del PCG64, other, legacy_bits, philox
+    return rng.normal(size=4)

@@ -1,0 +1,12 @@
+"""R002 known-bad: the three float64-leak patterns in a kernel module."""
+# reprolint: module=repro.ising.fixture_bad
+
+import numpy as np
+
+
+def kernels(x):
+    state = np.zeros((4, 4))
+    scale = np.float64(0.5)
+    rows = np.asarray(x)
+    widened = rows.astype(float)
+    return state, scale, rows, widened

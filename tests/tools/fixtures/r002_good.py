@@ -1,0 +1,13 @@
+"""R002 known-good: every creation names its dtype; upcasts are explicit."""
+# reprolint: module=repro.ising.fixture_good
+
+import numpy as np
+
+
+def kernels(x, dtype):
+    state = np.zeros((4, 4), dtype=dtype)
+    gains = np.ones(3, dtype=np.float32)
+    trace = np.empty(8, dtype=np.float64)
+    rows = np.asarray(x, dtype=dtype)
+    widened = rows.astype(np.float64)
+    return state, gains, trace, rows, widened

@@ -1,0 +1,8 @@
+"""R002 scope check: the same patterns are host-side policy outside kernels."""
+# reprolint: module=repro.experiments.fixture
+
+import numpy as np
+
+
+def host_side(x):
+    return np.zeros((4, 4)), np.asarray(x), np.float64(0.5)

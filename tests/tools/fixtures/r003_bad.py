@@ -1,0 +1,25 @@
+"""R003 known-bad: guarded fields read and written outside the lock."""
+
+import threading
+
+
+class Cache:
+    # reprolint: guard(_lock)=_value,_stamp
+
+    # reprolint: lockfree -- construction happens-before sharing: no other thread sees the object until __init__ returns
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = None
+        self._stamp = 0
+
+    def update(self, value):
+        self._value = value
+        with self._lock:
+            self._stamp += 1
+
+    def read(self):
+        return self._value, self._stamp
+
+    def wrong_lock(self):
+        with self._other_lock:
+            return self._value

@@ -1,0 +1,29 @@
+"""R003 known-good: guarded fields touched under the lock or justified."""
+
+import threading
+
+
+class Cache:
+    # reprolint: guard(_lock)=_value,_stamp
+
+    # reprolint: lockfree -- construction happens-before sharing: no other thread sees the object until __init__ returns
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = None
+        self._stamp = 0
+
+    def update(self, value):
+        with self._lock:
+            self._value = value
+            self._stamp += 1
+
+    def read(self):
+        with self._lock:
+            return self._value, self._stamp
+
+    def peek(self):
+        snapshot = self._value  # reprolint: disable=R003 -- double-checked read: snapshotted into a local, verified under the lock before use
+        if snapshot is None:
+            return None
+        with self._lock:
+            return self._value

@@ -1,0 +1,17 @@
+"""R004 known-bad: blocking calls on the event loop."""
+# reprolint: module=repro.serve.fixture_bad
+
+import socket
+import subprocess
+import time
+from time import sleep
+
+
+async def handle(path):
+    time.sleep(0.05)
+    sleep(0.05)
+    with open(path) as handle:
+        data = handle.read()
+    conn = socket.create_connection(("localhost", 1))
+    subprocess.run(["true"])
+    return data, conn

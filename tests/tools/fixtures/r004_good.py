@@ -1,0 +1,22 @@
+"""R004 known-good: coroutines await; blocking work sits in sync helpers."""
+# reprolint: module=repro.serve.fixture_good
+
+import asyncio
+import time
+
+
+async def linger(delay):
+    await asyncio.sleep(delay)
+
+
+async def score(loop, payload):
+    def blocking_read(path):
+        # A nested sync def may block: it runs on the executor, not the loop.
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    return await loop.run_in_executor(None, blocking_read, payload)
+
+
+def sync_helper():
+    time.sleep(0.01)

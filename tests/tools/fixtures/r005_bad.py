@@ -1,0 +1,11 @@
+"""R005 known-bad: kwarg-shim construction bypassing the spec layer."""
+
+from repro.ising.bipartite import BipartiteIsingSubstrate
+from repro.rbm.ais import AISEstimator
+
+
+def build(rng, kwargs):
+    a = BipartiteIsingSubstrate(4, 3)
+    b = BipartiteIsingSubstrate(n_visible=4, n_hidden=3, rng=rng)
+    c = AISEstimator(**kwargs)
+    return a, b, c

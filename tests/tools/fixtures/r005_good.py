@@ -1,0 +1,9 @@
+"""R005 known-good: construction flows through the spec layer."""
+
+from repro.config import SubstrateSpec
+from repro.ising.bipartite import BipartiteIsingSubstrate
+
+
+def build(rng):
+    spec = SubstrateSpec(n_visible=4, n_hidden=3)
+    return BipartiteIsingSubstrate(spec=spec, rng=rng)
